@@ -1,0 +1,55 @@
+//! Table 3 — "The oracles and how many bugs they found."
+//!
+//! Attributes every true-bug finding of the campaign to the oracle that
+//! detected it (containment / error / SEGFAULT) and compares against the
+//! paper's 61/34/4 split.
+
+use lancer_bench::{dump_json, print_table, run_all_campaigns, ReportOptions};
+use lancer_core::DetectionKind;
+use lancer_engine::Dialect;
+
+fn main() {
+    let opts = ReportOptions::from_args();
+    let reports = run_all_campaigns(&opts);
+    let paper: &[(&str, [u32; 3])] =
+        &[("sqlite", [46, 17, 2]), ("mysql", [14, 10, 1]), ("postgres", [1, 7, 1])];
+
+    let mut rows = Vec::new();
+    let mut totals = [0usize; 3];
+    for dialect in Dialect::ALL {
+        let report = &reports[&dialect];
+        let counts = report.table3_counts();
+        let get = |k: DetectionKind| counts.get(&k).copied().unwrap_or(0);
+        totals[0] += get(DetectionKind::Containment);
+        totals[1] += get(DetectionKind::Error);
+        totals[2] += get(DetectionKind::Crash);
+        let paper_row = paper.iter().find(|(d, _)| *d == dialect.name()).map(|(_, r)| r);
+        rows.push(vec![
+            dialect.name().to_owned(),
+            get(DetectionKind::Containment).to_string(),
+            get(DetectionKind::Error).to_string(),
+            get(DetectionKind::Crash).to_string(),
+            paper_row.map(|r| format!("{}/{}/{}", r[0], r[1], r[2])).unwrap_or_default(),
+        ]);
+    }
+    rows.push(vec![
+        "Sum".to_owned(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+        "61/34/4".to_owned(),
+    ]);
+    print_table(
+        "Table 3: true bugs per oracle (measured vs paper Contains/Error/SEGFAULT)",
+        &["DBMS", "Contains", "Error", "SEGFAULT", "paper (C/E/S)"],
+        &rows,
+    );
+    println!(
+        "\nShape check (paper: containment > error > crash): {} > {} > {} => {}",
+        totals[0],
+        totals[1],
+        totals[2],
+        if totals[0] >= totals[1] && totals[1] >= totals[2] { "holds" } else { "DOES NOT HOLD" }
+    );
+    dump_json("table3", &reports);
+}

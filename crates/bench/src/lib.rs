@@ -1,0 +1,173 @@
+//! # lancer-bench
+//!
+//! The benchmark harness and report generators that regenerate every table
+//! and figure of the paper's evaluation section (see DESIGN.md §3 for the
+//! per-experiment index).  Each `src/bin/*` binary prints the paper's
+//! reported rows next to the rows measured on this reproduction.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use lancer_core::{run_campaign, CampaignConfig, CampaignReport};
+use lancer_engine::Dialect;
+
+/// Command-line options shared by every report binary.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Random databases per dialect.
+    pub databases: usize,
+    /// Containment checks per database.
+    pub queries_per_database: usize,
+    /// Worker threads per campaign.
+    pub threads: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions { seed: 0x5EED, databases: 40, queries_per_database: 80, threads: 2 }
+    }
+}
+
+impl ReportOptions {
+    /// Parses `--seed`, `--databases`, `--queries`, `--threads` from the
+    /// process arguments, falling back to defaults.
+    #[must_use]
+    pub fn from_args() -> ReportOptions {
+        let mut opts = ReportOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            let value = &args[i + 1];
+            match args[i].as_str() {
+                "--seed" => opts.seed = value.parse().unwrap_or(opts.seed),
+                "--databases" => opts.databases = value.parse().unwrap_or(opts.databases),
+                "--queries" => {
+                    opts.queries_per_database = value.parse().unwrap_or(opts.queries_per_database);
+                }
+                "--threads" => opts.threads = value.parse().unwrap_or(opts.threads),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        opts
+    }
+
+    /// Builds the campaign configuration for one dialect.
+    #[must_use]
+    pub fn campaign(&self, dialect: Dialect) -> CampaignConfig {
+        let mut c = CampaignConfig::new(dialect);
+        c.seed = self.seed;
+        c.databases = self.databases;
+        c.queries_per_database = self.queries_per_database;
+        c.threads = self.threads;
+        c
+    }
+}
+
+/// Runs the standard evaluation campaign for every dialect.
+#[must_use]
+pub fn run_all_campaigns(opts: &ReportOptions) -> BTreeMap<Dialect, CampaignReport> {
+    Dialect::ALL
+        .iter()
+        .map(|d| {
+            eprintln!("running {} campaign ({} databases, {} queries each)...",
+                d.name(), opts.databases, opts.queries_per_database);
+            (*d, run_campaign(&opts.campaign(*d)))
+        })
+        .collect()
+}
+
+/// Prints a simple fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(4)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Lines of Rust code per workspace crate (the Table 4 "SQLancer LOC"
+/// analogue: the dialect-testing components are `lancer-core` + the dialect
+/// surface of the engine, the "DBMS LOC" analogue is the engine stack).
+#[must_use]
+pub fn loc_census() -> BTreeMap<String, usize> {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let crates_dir = manifest.parent().map(Path::to_path_buf).unwrap_or_default();
+    let mut out = BTreeMap::new();
+    for entry in ["sql", "storage", "engine", "core", "bench"] {
+        let dir = crates_dir.join(entry).join("src");
+        out.insert(format!("lancer-{entry}"), count_rust_lines(&dir));
+    }
+    out
+}
+
+fn count_rust_lines(dir: &Path) -> usize {
+    let mut total = 0usize;
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += count_rust_lines(&path);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(content) = std::fs::read_to_string(&path) {
+                total += content.lines().filter(|l| !l.trim().is_empty()).count();
+            }
+        }
+    }
+    total
+}
+
+/// Writes a JSON record of an experiment next to stdout output so that
+/// EXPERIMENTS.md snapshots can be regenerated mechanically.
+pub fn dump_json(name: &str, value: &impl serde::Serialize) {
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let path = std::env::temp_dir().join(format!("lancer_{name}.json"));
+        let _ = std::fs::write(&path, json);
+        eprintln!("(machine-readable record written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_census_counts_the_workspace() {
+        let census = loc_census();
+        assert!(census["lancer-sql"] > 500);
+        assert!(census["lancer-engine"] > 1000);
+        assert!(census["lancer-core"] > 500);
+    }
+
+    #[test]
+    fn options_build_campaigns() {
+        let opts = ReportOptions::default();
+        let c = opts.campaign(Dialect::Mysql);
+        assert_eq!(c.dialect, Dialect::Mysql);
+        assert_eq!(c.databases, opts.databases);
+    }
+}

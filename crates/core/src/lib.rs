@@ -1,0 +1,44 @@
+//! # lancer-core — Pivoted Query Synthesis
+//!
+//! A from-scratch Rust reproduction of the paper *Testing Database Engines
+//! via Pivoted Query Synthesis* (Rigger & Su, OSDI 2020) — the technique
+//! behind SQLancer.
+//!
+//! The core idea: select a random **pivot row**, generate a random
+//! expression, evaluate it on the pivot row with a ground-truth AST
+//! interpreter ([`interp`]), **rectify** it so it is guaranteed to be `TRUE`
+//! ([`oracle::rectify`]), wrap it into a query, and check that the DBMS
+//! returns the pivot row ([`oracle::ContainmentOracle`]).  A secondary
+//! [`oracle::ErrorOracle`] flags unexpected DBMS errors such as database
+//! corruption.  The [`runner`] module orchestrates whole testing campaigns
+//! (random state generation, detection, reduction, attribution), and
+//! [`baseline`] implements the differential-testing and crash-fuzzing
+//! baselines the paper contrasts with.
+//!
+//! ```
+//! use lancer_core::{CampaignConfig, run_campaign};
+//! use lancer_engine::Dialect;
+//!
+//! let mut config = CampaignConfig::quick(Dialect::Sqlite);
+//! config.databases = 2;
+//! config.queries_per_database = 10;
+//! let report = run_campaign(&config);
+//! assert!(report.stats.queries_checked > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod gen;
+pub mod interp;
+pub mod oracle;
+pub mod reduce;
+pub mod runner;
+
+pub use gen::{GenConfig, StateGenerator, VisibleColumn};
+pub use interp::{Interpreter, PivotColumn, PivotRow};
+pub use oracle::{rectify, ContainmentOracle, ErrorOracle, OracleOutcome};
+pub use reduce::reduce_statements;
+pub use runner::{
+    run_campaign, CampaignConfig, CampaignReport, CampaignStats, DetectionKind, FoundBug,
+};

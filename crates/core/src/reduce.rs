@@ -1,0 +1,97 @@
+//! Statement-level test-case reduction.
+//!
+//! SQLancer "automatically deletes SQL statements that are unnecessary to
+//! reproduce a bug" (§4.1); the reduced sizes drive Figure 2 of the paper.
+//! The reducer is a greedy delta-debugging loop: repeatedly try to drop
+//! chunks (then single statements) while the failure predicate still holds.
+
+use lancer_sql::ast::Statement;
+
+/// Reduces a failing statement sequence while `still_fails` holds.
+///
+/// The predicate receives a candidate statement sequence and must return
+/// `true` iff the bug still reproduces.  The input sequence itself must
+/// satisfy the predicate; otherwise it is returned unchanged.
+pub fn reduce_statements(
+    statements: &[Statement],
+    still_fails: &dyn Fn(&[Statement]) -> bool,
+) -> Vec<Statement> {
+    let mut current: Vec<Statement> = statements.to_vec();
+    if !still_fails(&current) {
+        return current;
+    }
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut changed = false;
+        while chunk >= 1 {
+            let mut i = 0;
+            while i < current.len() {
+                if current.len() <= 1 {
+                    break;
+                }
+                let end = (i + chunk).min(current.len());
+                let mut candidate = Vec::with_capacity(current.len() - (end - i));
+                candidate.extend_from_slice(&current[..i]);
+                candidate.extend_from_slice(&current[end..]);
+                if !candidate.is_empty() && still_fails(&candidate) {
+                    current = candidate;
+                    changed = true;
+                    // Do not advance: the next chunk now sits at index i.
+                } else {
+                    i += 1;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+        if !changed {
+            break;
+        }
+        chunk = (current.len() / 2).max(1);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancer_sql::parser::parse_script;
+
+    #[test]
+    fn reduces_to_the_necessary_statements() {
+        let stmts = parse_script(
+            "CREATE TABLE t0(c0);
+             CREATE TABLE t1(c0);
+             INSERT INTO t0(c0) VALUES (1);
+             INSERT INTO t1(c0) VALUES (2);
+             ANALYZE;
+             SELECT * FROM t0;",
+        )
+        .unwrap();
+        // The "bug" reproduces whenever the test case still creates t0 and
+        // selects from it.
+        let predicate = |candidate: &[Statement]| {
+            let sql: Vec<String> = candidate.iter().map(ToString::to_string).collect();
+            sql.iter().any(|s| s.starts_with("CREATE TABLE t0"))
+                && sql.iter().any(|s| s.starts_with("SELECT"))
+        };
+        let reduced = reduce_statements(&stmts, &predicate);
+        assert_eq!(reduced.len(), 2, "only CREATE TABLE t0 and SELECT are needed: {reduced:?}");
+    }
+
+    #[test]
+    fn returns_input_when_not_failing() {
+        let stmts = parse_script("SELECT 1; SELECT 2;").unwrap();
+        let reduced = reduce_statements(&stmts, &|_| false);
+        assert_eq!(reduced.len(), 2);
+    }
+
+    #[test]
+    fn never_returns_empty() {
+        let stmts = parse_script("SELECT 1; SELECT 2; SELECT 3;").unwrap();
+        let reduced = reduce_statements(&stmts, &|_| true);
+        assert_eq!(reduced.len(), 1);
+    }
+}

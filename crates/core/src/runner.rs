@@ -1,0 +1,665 @@
+//! The campaign runner: the equivalent of letting SQLancer run against a
+//! DBMS for a testing session, plus the post-processing the paper performs
+//! by hand (reduction, root-cause attribution, tracker classification).
+//!
+//! A campaign repeatedly (1) generates a random database, (2) applies the
+//! error oracle to state-generation failures, (3) runs containment checks,
+//! and then reduces and attributes every detection to the injected fault(s)
+//! that reproduce it.  Attribution is done by re-executing the reduced test
+//! case against engines with exactly one fault enabled — the ground truth
+//! that lets the benches regenerate Tables 2 and 3 and Figures 2 and 3.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use lancer_engine::{BugId, BugProfile, BugStatus, Dialect, Engine};
+use lancer_sql::ast::stmt::{ColumnConstraint, Statement, StatementKind};
+use lancer_sql::value::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{GenConfig, StateGenerator};
+use crate::oracle::{ContainmentOracle, ErrorOracle, OracleOutcome};
+use crate::reduce::reduce_statements;
+
+/// Which oracle produced a detection (Table 3's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DetectionKind {
+    /// The pivot row was missing from the result set.
+    Containment,
+    /// An unexpected (non-crash) error was returned.
+    Error,
+    /// A simulated crash (SEGFAULT).
+    Crash,
+}
+
+impl DetectionKind {
+    /// The column label used by Table 3.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectionKind::Containment => "Contains",
+            DetectionKind::Error => "Error",
+            DetectionKind::Crash => "SEGFAULT",
+        }
+    }
+}
+
+/// A raw detection before reduction and attribution.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Which oracle fired.
+    pub kind: DetectionKind,
+    /// The error message (or a containment description).
+    pub message: String,
+    /// The statements executed so far, ending with the triggering statement.
+    pub statements: Vec<Statement>,
+    /// For containment violations: the row that must have been fetched.
+    pub expected_row: Option<Vec<Value>>,
+}
+
+/// A detection after reduction and attribution to an injected fault.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FoundBug {
+    /// The injected fault this detection reproduces.
+    pub id: BugId,
+    /// The oracle that found it.
+    pub kind: DetectionKind,
+    /// The tracker classification of the fault (drives Table 2).
+    pub status: BugStatus,
+    /// The reduced test case, as SQL text (one statement per line).
+    pub reduced_sql: Vec<String>,
+    /// The statement kinds appearing in the reduced test case (Figure 3).
+    pub statement_kinds: Vec<StatementKind>,
+    /// The error message or containment description.
+    pub message: String,
+}
+
+impl FoundBug {
+    /// Number of statements (≈ LOC) of the reduced test case (Figure 2).
+    #[must_use]
+    pub fn reduced_loc(&self) -> usize {
+        self.reduced_sql.len()
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The dialect (DBMS) under test.
+    pub dialect: Dialect,
+    /// Number of random databases to generate.
+    pub databases: usize,
+    /// Number of containment checks per database.
+    pub queries_per_database: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Generator tuning.
+    pub gen: GenConfig,
+    /// Worker threads (each owns its databases, as in §3.4).
+    pub threads: usize,
+    /// The fault profile; defaults to every fault registered for the dialect.
+    pub bugs: Option<BugProfile>,
+}
+
+impl CampaignConfig {
+    /// A campaign with sensible defaults for the dialect.
+    #[must_use]
+    pub fn new(dialect: Dialect) -> CampaignConfig {
+        CampaignConfig {
+            dialect,
+            databases: 30,
+            queries_per_database: 60,
+            seed: 0x5EED,
+            gen: GenConfig::default(),
+            threads: 1,
+            bugs: None,
+        }
+    }
+
+    /// A small, fast campaign for unit/integration tests.
+    #[must_use]
+    pub fn quick(dialect: Dialect) -> CampaignConfig {
+        CampaignConfig {
+            dialect,
+            databases: 8,
+            queries_per_database: 30,
+            seed: 0x5EED,
+            gen: GenConfig::tiny(),
+            threads: 1,
+            bugs: None,
+        }
+    }
+
+    fn profile(&self) -> BugProfile {
+        self.bugs.clone().unwrap_or_else(|| BugProfile::all_for(self.dialect))
+    }
+}
+
+/// Aggregate statistics of a campaign.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Total SQL statements executed against the engine.
+    pub statements_executed: u64,
+    /// Containment checks performed.
+    pub queries_checked: u64,
+    /// Raw containment violations observed (before dedup).
+    pub containment_violations: u64,
+    /// Raw unexpected errors observed (before dedup).
+    pub unexpected_errors: u64,
+    /// Raw crashes observed (before dedup).
+    pub crashes: u64,
+    /// Detections that also reproduce with every fault disabled (oracle
+    /// divergence); they are discarded, mirroring false bug reports.
+    pub spurious: u64,
+    /// Detections that could not be attributed to a single fault.
+    pub unattributed: u64,
+    /// Wall-clock duration in milliseconds.
+    pub elapsed_ms: u128,
+    /// Feature-coverage fraction reached on the engine (Table 4 analogue).
+    pub coverage_fraction: f64,
+}
+
+impl CampaignStats {
+    /// Statements per second achieved by the campaign (§3.4 reports
+    /// 5,000–20,000 for SQLancer).
+    #[must_use]
+    pub fn statements_per_second(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            return 0.0;
+        }
+        self.statements_executed as f64 * 1000.0 / self.elapsed_ms as f64
+    }
+}
+
+/// The result of a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The dialect that was tested.
+    pub dialect: Dialect,
+    /// Deduplicated, attributed findings.
+    pub found: Vec<FoundBug>,
+    /// Aggregate statistics.
+    pub stats: CampaignStats,
+}
+
+impl CampaignReport {
+    /// Table 2: findings grouped by tracker classification.
+    #[must_use]
+    pub fn table2_counts(&self) -> BTreeMap<BugStatus, usize> {
+        let mut out = BTreeMap::new();
+        for f in &self.found {
+            *out.entry(f.status).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Table 3: *true* bugs grouped by the oracle that found them.
+    #[must_use]
+    pub fn table3_counts(&self) -> BTreeMap<DetectionKind, usize> {
+        let mut out = BTreeMap::new();
+        for f in self.found.iter().filter(|f| f.status.is_true_bug()) {
+            *out.entry(f.kind).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Figure 2: the reduced test-case lengths of all findings.
+    #[must_use]
+    pub fn reduced_lengths(&self) -> Vec<usize> {
+        self.found.iter().map(FoundBug::reduced_loc).collect()
+    }
+
+    /// Figure 3: for each statement kind, the fraction of findings whose
+    /// reduced test case contains it, together with the number of findings
+    /// where a statement of that kind was the *triggering* (last) statement,
+    /// per oracle.
+    #[must_use]
+    pub fn statement_distribution(&self) -> Vec<StatementDistributionRow> {
+        let total = self.found.len().max(1) as f64;
+        let mut per_kind: BTreeMap<StatementKind, StatementDistributionRow> = BTreeMap::new();
+        for f in &self.found {
+            let kinds: BTreeSet<StatementKind> = f.statement_kinds.iter().copied().collect();
+            for k in kinds {
+                per_kind
+                    .entry(k)
+                    .or_insert_with(|| StatementDistributionRow::new(k))
+                    .containing += 1;
+            }
+            if let Some(last) = f.statement_kinds.last() {
+                let row = per_kind
+                    .entry(*last)
+                    .or_insert_with(|| StatementDistributionRow::new(*last));
+                match f.kind {
+                    DetectionKind::Containment => row.triggered_contains += 1,
+                    DetectionKind::Error => row.triggered_error += 1,
+                    DetectionKind::Crash => row.triggered_crash += 1,
+                }
+            }
+        }
+        let mut rows: Vec<StatementDistributionRow> = per_kind.into_values().collect();
+        for r in &mut rows {
+            r.fraction = r.containing as f64 / total;
+        }
+        rows.sort_by(|a, b| b.fraction.partial_cmp(&a.fraction).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+
+    /// §4.3 column-constraint statistics: the fraction of findings whose
+    /// reduced test case uses UNIQUE, PRIMARY KEY, CREATE INDEX and FOREIGN
+    /// KEY constructs.
+    #[must_use]
+    pub fn constraint_stats(&self) -> ConstraintStats {
+        let total = self.found.len().max(1) as f64;
+        let mut unique = 0usize;
+        let mut primary_key = 0usize;
+        let mut create_index = 0usize;
+        for f in &self.found {
+            let mut has_unique = false;
+            let mut has_pk = false;
+            let mut has_index = false;
+            for sql in &f.reduced_sql {
+                if let Ok(stmt) = lancer_sql::parse_statement(sql) {
+                    match &stmt {
+                        Statement::CreateTable(ct) => {
+                            for c in &ct.columns {
+                                has_unique |= c
+                                    .constraints
+                                    .iter()
+                                    .any(|cc| matches!(cc, ColumnConstraint::Unique));
+                                has_pk |= c.has_primary_key();
+                            }
+                            has_pk |= ct.constraints.iter().any(|tc| {
+                                matches!(tc, lancer_sql::ast::stmt::TableConstraint::PrimaryKey(_))
+                            });
+                            has_unique |= ct.constraints.iter().any(|tc| {
+                                matches!(tc, lancer_sql::ast::stmt::TableConstraint::Unique(_))
+                            });
+                        }
+                        Statement::CreateIndex(ci) => {
+                            has_index = true;
+                            has_unique |= ci.unique;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            unique += usize::from(has_unique);
+            primary_key += usize::from(has_pk);
+            create_index += usize::from(has_index);
+        }
+        ConstraintStats {
+            unique_fraction: unique as f64 / total,
+            primary_key_fraction: primary_key as f64 / total,
+            create_index_fraction: create_index as f64 / total,
+            foreign_key_fraction: 0.0,
+        }
+    }
+
+    /// Mean reduced test-case length (the paper reports 3.71 LOC).
+    #[must_use]
+    pub fn mean_reduced_loc(&self) -> f64 {
+        if self.found.is_empty() {
+            return 0.0;
+        }
+        self.reduced_lengths().iter().sum::<usize>() as f64 / self.found.len() as f64
+    }
+}
+
+/// One row of the Figure 3 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatementDistributionRow {
+    /// The statement kind.
+    pub kind: StatementKind,
+    /// Number of findings whose reduced case contains this kind.
+    pub containing: usize,
+    /// Fraction of findings whose reduced case contains this kind.
+    pub fraction: f64,
+    /// Findings whose triggering statement was of this kind, per oracle.
+    pub triggered_contains: usize,
+    /// Triggering statement count for the error oracle.
+    pub triggered_error: usize,
+    /// Triggering statement count for crashes.
+    pub triggered_crash: usize,
+}
+
+impl StatementDistributionRow {
+    fn new(kind: StatementKind) -> Self {
+        StatementDistributionRow {
+            kind,
+            containing: 0,
+            fraction: 0.0,
+            triggered_contains: 0,
+            triggered_error: 0,
+            triggered_crash: 0,
+        }
+    }
+}
+
+/// §4.3 constraint statistics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConstraintStats {
+    /// Fraction of findings using a `UNIQUE` constraint.
+    pub unique_fraction: f64,
+    /// Fraction of findings using a `PRIMARY KEY`.
+    pub primary_key_fraction: f64,
+    /// Fraction of findings using an explicit `CREATE INDEX`.
+    pub create_index_fraction: f64,
+    /// Fraction of findings using a `FOREIGN KEY` (not modelled: 0).
+    pub foreign_key_fraction: f64,
+}
+
+/// Re-executes a test case on a fresh engine with the given fault profile
+/// and reports whether the detection still reproduces.
+#[must_use]
+pub fn reproduces(
+    dialect: Dialect,
+    profile: &BugProfile,
+    statements: &[Statement],
+    kind: DetectionKind,
+    expected_row: Option<&[Value]>,
+) -> bool {
+    if statements.is_empty() {
+        return false;
+    }
+    let mut engine = Engine::with_bugs(dialect, profile.clone());
+    let (setup, last) = statements.split_at(statements.len() - 1);
+    for stmt in setup {
+        // Setup statements may legitimately fail after reduction removed
+        // their prerequisites; keep going, mirroring SQLancer's reducer.
+        let _ = engine.execute(stmt);
+    }
+    let last = &last[0];
+    match engine.execute(last) {
+        Ok(result) => match kind {
+            // A containment failure only counts when the triggering statement
+            // is still the query itself; otherwise the "missing row" would be
+            // trivially true for any non-query statement.
+            DetectionKind::Containment if last.is_read_only() => match expected_row {
+                Some(row) => !result.contains_row(row),
+                None => false,
+            },
+            _ => false,
+        },
+        Err(e) => match kind {
+            DetectionKind::Crash => e.is_crash(),
+            DetectionKind::Error => !e.is_crash() && !ErrorOracle.is_expected(last, &e),
+            // A containment detection reproduces only when the query runs and
+            // misses the pivot row; an error is a different failure mode and
+            // must be attributed through an Error/Crash detection instead.
+            DetectionKind::Containment => false,
+        },
+    }
+}
+
+/// Runs a campaign for one dialect.
+#[must_use]
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let started = Instant::now();
+    let profile = config.profile();
+    let threads = config.threads.max(1);
+    let mut raw: Vec<Detection> = Vec::new();
+    let mut stats = CampaignStats::default();
+    let mut coverage = lancer_engine::Coverage::new();
+
+    let per_thread = config.databases.div_ceil(threads);
+    let results: Vec<(Vec<Detection>, CampaignStats, lancer_engine::Coverage)> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let profile = profile.clone();
+                let config = config.clone();
+                handles.push(scope.spawn(move || {
+                    run_worker(&config, &profile, t as u64, per_thread)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+    for (mut detections, s, c) in results {
+        raw.append(&mut detections);
+        stats.statements_executed += s.statements_executed;
+        stats.queries_checked += s.queries_checked;
+        stats.containment_violations += s.containment_violations;
+        stats.unexpected_errors += s.unexpected_errors;
+        stats.crashes += s.crashes;
+        coverage.merge(&c);
+    }
+
+    // Reduction + attribution + deduplication.
+    let mut found: Vec<FoundBug> = Vec::new();
+    let mut seen: BTreeSet<BugId> = BTreeSet::new();
+    for detection in raw {
+        let expected = detection.expected_row.clone();
+        let expected_ref = expected.as_deref();
+        // Discard detections that also "reproduce" without any fault: those
+        // indicate oracle divergence, the analogue of a false bug report.
+        if reproduces(
+            config.dialect,
+            &BugProfile::none(),
+            &detection.statements,
+            detection.kind,
+            expected_ref,
+        ) {
+            stats.spurious += 1;
+            continue;
+        }
+        if !reproduces(config.dialect, &profile, &detection.statements, detection.kind, expected_ref)
+        {
+            // Not deterministic enough to analyse (e.g. depends on statement
+            // counters); skip rather than misattribute.
+            stats.unattributed += 1;
+            continue;
+        }
+        // The reduction predicate is differential: the candidate must still
+        // fail with the faults enabled *and* pass on the fault-free engine.
+        // Without the second condition the reducer could drop the statements
+        // that make the pivot row exist in the first place.
+        let reduced = reduce_statements(&detection.statements, &|candidate| {
+            reproduces(config.dialect, &profile, candidate, detection.kind, expected_ref)
+                && !reproduces(
+                    config.dialect,
+                    &BugProfile::none(),
+                    candidate,
+                    detection.kind,
+                    expected_ref,
+                )
+        });
+        let mut attributed: Vec<BugId> = Vec::new();
+        for bug in profile.iter() {
+            if seen.contains(&bug) {
+                continue;
+            }
+            let single = BugProfile::with(&[bug]);
+            if reproduces(config.dialect, &single, &reduced, detection.kind, expected_ref) {
+                attributed.push(bug);
+            }
+        }
+        if attributed.is_empty() {
+            stats.unattributed += 1;
+            continue;
+        }
+        for bug in attributed {
+            seen.insert(bug);
+            found.push(FoundBug {
+                id: bug,
+                kind: detection.kind,
+                status: bug.info().status,
+                reduced_sql: reduced.iter().map(ToString::to_string).collect(),
+                statement_kinds: reduced.iter().map(Statement::kind).collect(),
+                message: detection.message.clone(),
+            });
+        }
+    }
+
+    stats.elapsed_ms = started.elapsed().as_millis().max(1);
+    stats.coverage_fraction = coverage.fraction();
+    CampaignReport { dialect: config.dialect, found, stats }
+}
+
+fn run_worker(
+    config: &CampaignConfig,
+    profile: &BugProfile,
+    worker: u64,
+    databases: usize,
+) -> (Vec<Detection>, CampaignStats, lancer_engine::Coverage) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let mut detections = Vec::new();
+    let mut stats = CampaignStats::default();
+    let mut coverage = lancer_engine::Coverage::new();
+    let error_oracle = ErrorOracle;
+    let containment = ContainmentOracle::new(config.dialect, config.gen.clone());
+    for _ in 0..databases {
+        let mut engine = Engine::with_bugs(config.dialect, profile.clone());
+        let mut generator = StateGenerator::new(config.dialect, config.gen.clone());
+        let (log, failures) = generator.generate_database(&mut rng, &mut engine);
+        for (stmt, err) in &failures {
+            if let Some(OracleOutcome::UnexpectedError { message, crash, .. }) =
+                error_oracle.check(stmt, err)
+            {
+                let mut statements = log.clone();
+                statements.push(stmt.clone());
+                if crash {
+                    stats.crashes += 1;
+                } else {
+                    stats.unexpected_errors += 1;
+                }
+                detections.push(Detection {
+                    kind: if crash { DetectionKind::Crash } else { DetectionKind::Error },
+                    message,
+                    statements,
+                    expected_row: None,
+                });
+            }
+        }
+        for _ in 0..config.queries_per_database {
+            stats.queries_checked += 1;
+            match containment.check_once(&mut rng, &mut engine) {
+                OracleOutcome::Passed | OracleOutcome::Skipped => {}
+                OracleOutcome::ContainmentViolation { query, expected_row } => {
+                    stats.containment_violations += 1;
+                    let mut statements = log.clone();
+                    statements.push(query);
+                    detections.push(Detection {
+                        kind: DetectionKind::Containment,
+                        message: format!(
+                            "pivot row ({}) not contained in the result set",
+                            expected_row
+                                .iter()
+                                .map(Value::to_sql_literal)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        statements,
+                        expected_row: Some(expected_row),
+                    });
+                }
+                OracleOutcome::UnexpectedError { statement, message, crash } => {
+                    if crash {
+                        stats.crashes += 1;
+                    } else {
+                        stats.unexpected_errors += 1;
+                    }
+                    let mut statements = log.clone();
+                    statements.push(statement);
+                    detections.push(Detection {
+                        kind: if crash { DetectionKind::Crash } else { DetectionKind::Error },
+                        message,
+                        statements,
+                        expected_row: None,
+                    });
+                }
+            }
+        }
+        stats.statements_executed += engine.statements_executed();
+        coverage.merge(engine.coverage());
+    }
+    (detections, stats, coverage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_on_a_correct_engine_finds_nothing() {
+        let mut config = CampaignConfig::quick(Dialect::Sqlite);
+        config.bugs = Some(BugProfile::none());
+        config.databases = 3;
+        config.queries_per_database = 20;
+        let report = run_campaign(&config);
+        assert!(report.found.is_empty(), "unexpected findings: {:#?}", report.found);
+        assert!(report.stats.queries_checked > 0);
+        assert!(report.stats.statements_executed > 0);
+    }
+
+    #[test]
+    fn campaign_finds_injected_faults_in_sqlite_profile() {
+        let mut config = CampaignConfig::quick(Dialect::Sqlite);
+        config.databases = 10;
+        config.queries_per_database = 40;
+        let report = run_campaign(&config);
+        assert!(!report.found.is_empty(), "expected at least one finding");
+        // Every finding maps to a fault of the right dialect and its reduced
+        // case is non-empty.
+        for f in &report.found {
+            assert_eq!(f.id.info().dialect, Dialect::Sqlite);
+            assert!(!f.reduced_sql.is_empty());
+            assert!(f.reduced_loc() <= 30);
+        }
+        // Dedup: each fault appears at most once.
+        let ids: BTreeSet<BugId> = report.found.iter().map(|f| f.id).collect();
+        assert_eq!(ids.len(), report.found.len());
+        // Aggregations are consistent.
+        let table2: usize = report.table2_counts().values().sum();
+        assert_eq!(table2, report.found.len());
+        let table3: usize = report.table3_counts().values().sum();
+        assert!(table3 <= report.found.len());
+        assert!(report.mean_reduced_loc() >= 1.0);
+        let dist = report.statement_distribution();
+        assert!(!dist.is_empty());
+    }
+
+    #[test]
+    fn reproduces_handles_empty_and_correct_cases() {
+        assert!(!reproduces(Dialect::Sqlite, &BugProfile::none(), &[], DetectionKind::Error, None));
+        let stmts = lancer_sql::parse_script(
+            "CREATE TABLE t0(c0); INSERT INTO t0(c0) VALUES (1); SELECT * FROM t0;",
+        )
+        .unwrap();
+        assert!(
+            !reproduces(
+                Dialect::Sqlite,
+                &BugProfile::none(),
+                &stmts,
+                DetectionKind::Containment,
+                Some(&[Value::Integer(1)])
+            ),
+            "the correct engine fetches the pivot row, so the detection does not reproduce"
+        );
+        assert!(
+            reproduces(
+                Dialect::Sqlite,
+                &BugProfile::none(),
+                &stmts,
+                DetectionKind::Containment,
+                Some(&[Value::Integer(2)])
+            ),
+            "a wrong expected row reproduces even without faults, which the spurious filter catches"
+        );
+    }
+
+    #[test]
+    fn multithreaded_campaign_matches_single_threaded_structure() {
+        let mut config = CampaignConfig::quick(Dialect::Mysql);
+        config.threads = 2;
+        config.databases = 6;
+        config.queries_per_database = 20;
+        let report = run_campaign(&config);
+        assert_eq!(report.dialect, Dialect::Mysql);
+        for f in &report.found {
+            assert_eq!(f.id.info().dialect, Dialect::Mysql);
+        }
+        assert!(report.stats.statements_per_second() > 0.0);
+    }
+}

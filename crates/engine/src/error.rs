@@ -1,0 +1,126 @@
+//! Engine execution errors.
+
+use std::fmt;
+
+use lancer_storage::StorageError;
+
+/// The class of an execution error, used by the PQS error oracle to decide
+/// whether an error was expected for a given statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// A constraint violation (`UNIQUE`, `NOT NULL`, `CHECK`).
+    Constraint,
+    /// A semantic error (unknown table/column, type error in a strict
+    /// dialect, unsupported feature).
+    Semantic,
+    /// Database corruption ("malformed disk image"); *always* unexpected.
+    Corruption,
+    /// An internal DBMS error that should never surface to the client
+    /// (e.g. "negative bitmapset member not allowed"); always unexpected.
+    Internal,
+    /// A simulated process crash (SEGFAULT); always unexpected.
+    Crash,
+}
+
+/// An error produced while executing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// The error class.
+    pub class: ErrorClass,
+    /// The DBMS-style error message.
+    pub message: String,
+}
+
+impl EngineError {
+    /// Creates a constraint-violation error.
+    #[must_use]
+    pub fn constraint(message: impl Into<String>) -> Self {
+        EngineError { class: ErrorClass::Constraint, message: message.into() }
+    }
+
+    /// Creates a semantic error.
+    #[must_use]
+    pub fn semantic(message: impl Into<String>) -> Self {
+        EngineError { class: ErrorClass::Semantic, message: message.into() }
+    }
+
+    /// Creates a corruption error.
+    #[must_use]
+    pub fn corruption(message: impl Into<String>) -> Self {
+        EngineError { class: ErrorClass::Corruption, message: message.into() }
+    }
+
+    /// Creates an internal error.
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> Self {
+        EngineError { class: ErrorClass::Internal, message: message.into() }
+    }
+
+    /// Creates a simulated crash.
+    #[must_use]
+    pub fn crash(message: impl Into<String>) -> Self {
+        EngineError { class: ErrorClass::Crash, message: message.into() }
+    }
+
+    /// Returns `true` for simulated crashes.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        self.class == ErrorClass::Crash
+    }
+
+    /// Returns `true` for errors that the error oracle must always treat as
+    /// bugs regardless of the executed statement (corruption, internal
+    /// errors, crashes).
+    #[must_use]
+    pub fn always_unexpected(&self) -> bool {
+        matches!(self.class, ErrorClass::Corruption | ErrorClass::Internal | ErrorClass::Crash)
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        let class = match &e {
+            StorageError::UniqueViolation { .. } | StorageError::NotNullViolation { .. } => {
+                ErrorClass::Constraint
+            }
+            StorageError::Corruption(_) => ErrorClass::Corruption,
+            StorageError::Internal(_) => ErrorClass::Internal,
+            _ => ErrorClass::Semantic,
+        };
+        EngineError { class, message: e.to_string() }
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_map_to_expected_classes() {
+        let e: EngineError = StorageError::UniqueViolation { constraint: "t0.c0".into() }.into();
+        assert_eq!(e.class, ErrorClass::Constraint);
+        let e: EngineError = StorageError::Corruption("index i0".into()).into();
+        assert_eq!(e.class, ErrorClass::Corruption);
+        assert!(e.always_unexpected());
+        let e: EngineError = StorageError::NoSuchTable("t9".into()).into();
+        assert_eq!(e.class, ErrorClass::Semantic);
+        assert!(!e.always_unexpected());
+    }
+
+    #[test]
+    fn crash_detection() {
+        assert!(EngineError::crash("SEGFAULT").is_crash());
+        assert!(!EngineError::semantic("no such column").is_crash());
+    }
+}

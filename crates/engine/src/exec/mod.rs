@@ -1,0 +1,262 @@
+//! Statement execution: the engine façade and dispatch.
+
+mod ddl;
+mod dml;
+mod maintenance;
+mod query;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lancer_sql::ast::Statement;
+use lancer_sql::parser::{parse_script, parse_statement};
+use lancer_sql::value::Value;
+use lancer_storage::Database;
+
+use crate::bugs::BugProfile;
+use crate::coverage::Coverage;
+use crate::dialect::Dialect;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::Evaluator;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Column labels (empty for non-queries).
+    pub columns: Vec<String>,
+    /// Result rows (empty for non-queries).
+    pub rows: Vec<Vec<Value>>,
+    /// Number of rows inserted / updated / deleted.
+    pub affected: usize,
+}
+
+impl QueryResult {
+    /// A result carrying no rows.
+    #[must_use]
+    pub fn empty() -> QueryResult {
+        QueryResult::default()
+    }
+
+    /// Returns `true` if any result row equals the given row (the check the
+    /// containment oracle performs client-side).
+    #[must_use]
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.rows.iter().any(|r| {
+            r.len() == row.len() && r.iter().zip(row.iter()).all(|(a, b)| a.same_as(b))
+        })
+    }
+}
+
+/// One emulated DBMS instance: a dialect profile, a fault profile and a
+/// database.  This is the system under test that SQLancer drives.
+#[derive(Debug)]
+pub struct Engine {
+    dialect: Dialect,
+    bugs: BugProfile,
+    db: Database,
+    coverage: Coverage,
+    /// Tables that have been `ANALYZE`d (enables skip-scan style paths).
+    pub(crate) analyzed: BTreeSet<String>,
+    /// Tables with extended statistics objects (PostgreSQL).
+    pub(crate) statistics: BTreeSet<String>,
+    /// Columns poisoned by the double-quoted-string/rename interaction
+    /// (Listing 8): `(table, current column name, literal text returned)`.
+    pub(crate) poisoned_columns: Vec<(String, String, String)>,
+    /// Whether `PRAGMA case_sensitive_like` has been changed since an index
+    /// using `LIKE` was created (Listing 9).
+    pub(crate) like_pragma_changed: bool,
+    /// Auto-increment counters for SERIAL columns, keyed by (table, column).
+    pub(crate) serial_counters: BTreeMap<(String, String), i64>,
+    /// Number of statements executed (drives the "nondeterministic" SET
+    /// failure fault).
+    pub(crate) statements_executed: u64,
+}
+
+impl Engine {
+    /// Creates a reference-correct engine (no faults).
+    #[must_use]
+    pub fn new(dialect: Dialect) -> Engine {
+        Engine::with_bugs(dialect, BugProfile::none())
+    }
+
+    /// Creates an engine with the given fault profile.
+    #[must_use]
+    pub fn with_bugs(dialect: Dialect, bugs: BugProfile) -> Engine {
+        Engine {
+            dialect,
+            bugs,
+            db: Database::new(),
+            coverage: Coverage::new(),
+            analyzed: BTreeSet::new(),
+            statistics: BTreeSet::new(),
+            poisoned_columns: Vec::new(),
+            like_pragma_changed: false,
+            serial_counters: BTreeMap::new(),
+            statements_executed: 0,
+        }
+    }
+
+    /// The engine's dialect.
+    #[must_use]
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// The enabled fault profile.
+    #[must_use]
+    pub fn bugs(&self) -> &BugProfile {
+        &self.bugs
+    }
+
+    /// The underlying database (schema introspection for generators).
+    #[must_use]
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Feature coverage accumulated so far.
+    #[must_use]
+    pub fn coverage(&self) -> &Coverage {
+        &self.coverage
+    }
+
+    /// Number of statements executed so far.
+    #[must_use]
+    pub fn statements_executed(&self) -> u64 {
+        self.statements_executed
+    }
+
+    pub(crate) fn cover(&mut self, feature: &str) {
+        self.coverage.hit(feature);
+    }
+
+    /// Builds an evaluator bound to the current option state.
+    #[must_use]
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        let mut ev = Evaluator::new(self.dialect, &self.bugs);
+        ev.case_sensitive_like = self.db.option_bool("case_sensitive_like", false);
+        ev
+    }
+
+    /// Parses and executes a single SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors as semantic [`EngineError`]s and execution errors
+    /// unchanged.
+    pub fn execute_sql(&mut self, sql: &str) -> EngineResult<QueryResult> {
+        let stmt =
+            parse_statement(sql).map_err(|e| EngineError::semantic(format!("syntax error: {e}")))?;
+        self.execute(&stmt)
+    }
+
+    /// Parses and executes a semicolon-separated script, stopping at the
+    /// first error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or execution error.
+    pub fn execute_script(&mut self, sql: &str) -> EngineResult<Vec<QueryResult>> {
+        let stmts =
+            parse_script(sql).map_err(|e| EngineError::semantic(format!("syntax error: {e}")))?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in &stmts {
+            out.push(self.execute(s)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes a single statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] describing constraint violations, semantic
+    /// errors, corruptions or simulated crashes.
+    pub fn execute(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
+        self.statements_executed += 1;
+        // Statements are atomic: a failing statement leaves the database
+        // unchanged (multi-row INSERTs in particular must not be partially
+        // applied), matching the real DBMS and keeping generated statement
+        // logs replayable.
+        let snapshot = self.db.clone();
+        let result = self.dispatch(stmt);
+        if result.is_err() {
+            self.db = snapshot;
+        }
+        result
+    }
+
+    fn dispatch(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
+        match stmt {
+            Statement::CreateTable(ct) => self.exec_create_table(ct),
+            Statement::CreateIndex(ci) => self.exec_create_index(ci),
+            Statement::CreateView { name, query } => self.exec_create_view(name, query),
+            Statement::DropTable { name, if_exists } => self.exec_drop_table(name, *if_exists),
+            Statement::DropIndex { name, if_exists } => self.exec_drop_index(name, *if_exists),
+            Statement::DropView { name, if_exists } => self.exec_drop_view(name, *if_exists),
+            Statement::AlterTable(alter) => self.exec_alter(alter),
+            Statement::Insert(ins) => self.exec_insert(ins),
+            Statement::Update(upd) => self.exec_update(upd),
+            Statement::Delete(del) => self.exec_delete(del),
+            Statement::Select(q) => {
+                self.cover("stmt.select");
+                self.exec_query(q)
+            }
+            Statement::Vacuum { full } => self.exec_vacuum(*full),
+            Statement::Reindex { target } => self.exec_reindex(target.as_deref()),
+            Statement::Analyze { target } => self.exec_analyze(target.as_deref()),
+            Statement::CheckTable { table, for_upgrade } => self.exec_check_table(table, *for_upgrade),
+            Statement::RepairTable { table } => self.exec_repair_table(table),
+            Statement::Pragma { name, value } => self.exec_pragma(name, value.as_ref()),
+            Statement::Set { scope: _, name, value } => self.exec_set(name, value),
+            Statement::CreateStatistics { name, columns, table } => {
+                self.exec_create_statistics(name, columns, table)
+            }
+            Statement::Discard => {
+                if !self.dialect.has_statistics_and_discard() {
+                    return Err(EngineError::semantic("DISCARD is not supported by this DBMS"));
+                }
+                self.cover("stmt.discard");
+                Ok(QueryResult::empty())
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                // Transactions are accepted but not isolated: each worker
+                // owns its database, matching the per-thread setup in §3.4.
+                self.cover("stmt.transaction");
+                Ok(QueryResult::empty())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_row_uses_value_equality() {
+        let r = QueryResult {
+            columns: vec!["a".into()],
+            rows: vec![vec![Value::Integer(1), Value::Null]],
+            affected: 0,
+        };
+        assert!(r.contains_row(&[Value::Real(1.0), Value::Null]));
+        assert!(!r.contains_row(&[Value::Integer(2), Value::Null]));
+        assert!(!r.contains_row(&[Value::Integer(1)]));
+    }
+
+    #[test]
+    fn execute_sql_reports_syntax_errors() {
+        let mut e = Engine::new(Dialect::Sqlite);
+        let err = e.execute_sql("SELEKT 1").unwrap_err();
+        assert!(err.message.contains("syntax error"));
+    }
+
+    #[test]
+    fn transactions_are_accepted() {
+        let mut e = Engine::new(Dialect::Postgres);
+        e.execute_sql("BEGIN").unwrap();
+        e.execute_sql("COMMIT").unwrap();
+        e.execute_sql("ROLLBACK").unwrap();
+        assert_eq!(e.statements_executed(), 3);
+    }
+}

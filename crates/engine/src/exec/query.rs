@@ -1,0 +1,1191 @@
+//! `SELECT` execution: row sources, joins, filtering, grouping, projection,
+//! `DISTINCT`, ordering and compound queries.
+//!
+//! Most containment-oracle faults are injected here, because this is where a
+//! real DBMS's planner and optimisations live — exactly the components the
+//! paper found to be the richest source of logic bugs.
+
+use lancer_sql::ast::expr::{BinaryOp, Expr, TypeName};
+use lancer_sql::ast::stmt::{CompoundOp, JoinKind, Query, Select, SelectItem, TableEngine};
+use lancer_sql::collation::Collation;
+use lancer_sql::value::Value;
+use lancer_storage::schema::ColumnMeta;
+use lancer_storage::StorageError;
+
+use crate::bugs::BugId;
+use crate::dialect::Dialect;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{eval_aggregate, RowSchema, SourceSchema};
+use crate::exec::{Engine, QueryResult};
+
+/// Rows of one `FROM` source together with its schema.
+struct SourceData {
+    schema: SourceSchema,
+    rows: Vec<Vec<Value>>,
+    memory_engine: bool,
+}
+
+impl Engine {
+    pub(crate) fn exec_query(&mut self, q: &Query) -> EngineResult<QueryResult> {
+        match q {
+            Query::Select(s) => self.exec_select(s),
+            Query::Compound { left, op, right } => {
+                let l = self.exec_query(left)?;
+                let r = self.exec_query(right)?;
+                if !l.rows.is_empty() && !r.rows.is_empty() && l.rows[0].len() != r.rows[0].len() {
+                    return Err(EngineError::semantic(
+                        "SELECTs to the left and right of a compound operator do not have the same number of result columns",
+                    ));
+                }
+                let rows = match op {
+                    CompoundOp::Intersect => {
+                        self.cover("exec.compound_intersect");
+                        let mut out: Vec<Vec<Value>> = Vec::new();
+                        for row in &l.rows {
+                            if r.contains_row(row) && !contains(&out, row) {
+                                out.push(row.clone());
+                            }
+                        }
+                        out
+                    }
+                    CompoundOp::Union => {
+                        self.cover("exec.compound_union");
+                        let mut out: Vec<Vec<Value>> = Vec::new();
+                        for row in l.rows.iter().chain(r.rows.iter()) {
+                            if !contains(&out, row) {
+                                out.push(row.clone());
+                            }
+                        }
+                        out
+                    }
+                    CompoundOp::UnionAll => {
+                        self.cover("exec.compound_union");
+                        let mut out = l.rows.clone();
+                        out.extend(r.rows.iter().cloned());
+                        out
+                    }
+                    CompoundOp::Except => {
+                        self.cover("exec.compound_except");
+                        let mut out: Vec<Vec<Value>> = Vec::new();
+                        for row in &l.rows {
+                            if !r.contains_row(row) && !contains(&out, row) {
+                                out.push(row.clone());
+                            }
+                        }
+                        out
+                    }
+                };
+                Ok(QueryResult { columns: l.columns, rows, affected: 0 })
+            }
+        }
+    }
+
+    /// Loads the rows of one `FROM` source (table, view, or inheritance
+    /// hierarchy).
+    fn load_source(&mut self, name: &str) -> EngineResult<SourceData> {
+        if let Some(view) = self.db.view(name).cloned() {
+            self.cover("exec.view_expansion");
+            let result = self.exec_select(&view.query)?;
+            let columns = result
+                .columns
+                .iter()
+                .map(|c| ColumnMeta {
+                    name: c.clone(),
+                    type_name: None,
+                    collation: Collation::Binary,
+                    not_null: false,
+                    primary_key: false,
+                    unique: false,
+                    default: None,
+                    check: None,
+                })
+                .collect();
+            return Ok(SourceData {
+                schema: SourceSchema { name: name.to_owned(), columns },
+                rows: result.rows,
+                memory_engine: false,
+            });
+        }
+        self.cover("exec.table_scan");
+        let table = self.db.require_table(name)?;
+        let schema = table.schema.clone();
+        let mut rows: Vec<Vec<Value>> = table.rows().map(|r| r.values).collect();
+
+        // SQLite WITHOUT ROWID tables are physically the primary-key index;
+        // the injected NOCASE dedup fault hides case-differing keys
+        // (Listing 4).
+        if schema.without_rowid
+            && self.bugs().is_enabled(BugId::SqliteNoCaseWithoutRowidDedup)
+            && self.table_has_nocase(&schema.name)
+        {
+            if let Some(pk_col) = schema.primary_key.first() {
+                if let Some(pk_idx) = schema.column_index(pk_col) {
+                    let mut seen: Vec<String> = Vec::new();
+                    rows.retain(|r| match &r[pk_idx] {
+                        Value::Text(t) => {
+                            let key = t.to_ascii_lowercase();
+                            if seen.contains(&key) {
+                                false
+                            } else {
+                                seen.push(key);
+                                true
+                            }
+                        }
+                        _ => true,
+                    });
+                }
+            }
+        }
+
+        // PostgreSQL table inheritance: scanning the parent includes child
+        // rows projected onto the parent's columns.
+        let children = self.db.children_of(name);
+        if !children.is_empty() && self.dialect() == Dialect::Postgres {
+            self.cover("exec.inheritance_expansion");
+            let skip_children = self.bugs().is_enabled(BugId::PostgresSerialNotNullBypass)
+                && schema.columns.iter().any(|c| c.type_name == Some(TypeName::Serial));
+            if !skip_children {
+                for child in children {
+                    let child_table = self.db.require_table(&child)?;
+                    let child_schema = child_table.schema.clone();
+                    for row in child_table.rows() {
+                        let projected: Vec<Value> = schema
+                            .columns
+                            .iter()
+                            .map(|pc| {
+                                child_schema
+                                    .column_index(&pc.name)
+                                    .map(|ci| row.values[ci].clone())
+                                    .unwrap_or(Value::Null)
+                            })
+                            .collect();
+                        rows.push(projected);
+                    }
+                }
+            }
+        }
+
+        Ok(SourceData {
+            schema: SourceSchema { name: schema.name.clone(), columns: schema.columns.clone() },
+            rows,
+            memory_engine: schema.engine == TableEngine::Memory,
+        })
+    }
+
+    fn table_has_nocase(&self, table: &str) -> bool {
+        let nocase_col = self
+            .db
+            .table(table)
+            .map(|t| t.schema.columns.iter().any(|c| c.collation == Collation::NoCase))
+            .unwrap_or(false);
+        nocase_col
+            || self
+                .db
+                .indexes_on(table)
+                .iter()
+                .any(|i| i.def.collations.contains(&Collation::NoCase))
+    }
+
+    /// Checks for corrupted indexes on a referenced table and reports the
+    /// corruption, as a real DBMS would when the query touches them.
+    fn check_corruption(&self, table: &str) -> EngineResult<()> {
+        for idx in self.db.indexes_on(table) {
+            if let Some(reason) = idx.corruption() {
+                return Err(EngineError::corruption(format!(
+                    "database disk image is malformed (index {}: {reason})",
+                    idx.def.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Error-oracle faults that fire while *planning* a `SELECT`.
+    fn planning_faults(&self, s: &Select) -> EngineResult<()> {
+        if self.dialect() != Dialect::Postgres {
+            return Ok(());
+        }
+        for table in &s.from {
+            let has_stats = self.statistics.contains(&table.to_ascii_lowercase());
+            let has_expr_index = self.db.indexes_on(table).iter().any(|i| {
+                !i.def.implicit && i.def.exprs.iter().any(|e| !matches!(e, Expr::Column(_)))
+            });
+            if has_stats && has_expr_index {
+                if let Some(w) = &s.where_clause {
+                    let has_and = expr_contains(w, &|e| {
+                        matches!(e, Expr::Binary { op: BinaryOp::And, .. })
+                    });
+                    let has_or =
+                        expr_contains(w, &|e| matches!(e, Expr::Binary { op: BinaryOp::Or, .. }));
+                    if has_or && self.bugs().is_enabled(BugId::PostgresStatisticsCrashDuplicate) {
+                        return Err(EngineError::crash(
+                            "server process terminated by signal 11: segmentation fault",
+                        ));
+                    }
+                    if has_and
+                        && self.bugs().is_enabled(BugId::PostgresStatisticsNegativeBitmapset)
+                    {
+                        return Err(EngineError::internal(
+                            "negative bitmapset member not allowed",
+                        ));
+                    }
+                }
+            }
+            if self.bugs().is_enabled(BugId::PostgresIndexUnexpectedNull) {
+                if let Some(w) = &s.where_clause {
+                    for idx in self.db.indexes_on(table) {
+                        if idx.def.implicit {
+                            continue;
+                        }
+                        let Some(Expr::Column(col)) = idx.def.exprs.first() else { continue };
+                        let has_null = self
+                            .db
+                            .table(table)
+                            .map(|t| {
+                                t.schema.column_index(&col.column).is_some_and(|ci| {
+                                    t.rows().any(|r| r.values[ci].is_null())
+                                })
+                            })
+                            .unwrap_or(false);
+                        let has_range = expr_contains(w, &|e| {
+                            matches!(
+                                e,
+                                Expr::Binary { op: BinaryOp::Gt | BinaryOp::Lt, left, right }
+                                    if expr_references_column(left, &col.column)
+                                        || expr_references_column(right, &col.column)
+                            )
+                        });
+                        if has_null && has_range {
+                            return Err(EngineError::internal(format!(
+                                "found unexpected null value in index \"{}\"",
+                                idx.def.name
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn exec_select(&mut self, s: &Select) -> EngineResult<QueryResult> {
+        for table in &s.from {
+            if self.db.table(table).is_some() {
+                self.check_corruption(table)?;
+            } else if self.db.view(table).is_none() {
+                return Err(StorageError::NoSuchTable(table.clone()).into());
+            }
+        }
+        for j in &s.joins {
+            if self.db.table(&j.table).is_some() {
+                self.check_corruption(&j.table)?;
+            }
+        }
+        self.planning_faults(s)?;
+
+        // Load sources and build the joined row set.
+        let mut sources: Vec<SourceData> = Vec::new();
+        for name in &s.from {
+            sources.push(self.load_source(name)?);
+        }
+        let multi_table = s.from.len() + s.joins.len() > 1;
+        // Injected fault: joins with MEMORY-engine tables drop rows whose
+        // key needs an implicit cast (negative integers) — Listing 11.
+        if multi_table
+            && s.where_clause.is_some()
+            && self.bugs().is_enabled(BugId::MysqlMemoryEngineJoinMiss)
+        {
+            for src in &mut sources {
+                if src.memory_engine {
+                    src.rows.retain(|r| {
+                        !r.iter().any(|v| matches!(v, Value::Integer(i) if *i < 0))
+                    });
+                }
+            }
+        }
+
+        let mut schema = RowSchema::default();
+        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+        for src in &sources {
+            if sources.len() > 1 {
+                self.cover("exec.cross_join");
+            }
+            schema.sources.push(src.schema.clone());
+            rows = cross_product(&rows, &src.rows);
+        }
+        // Explicit joins.
+        for join in &s.joins {
+            let right = self.load_source(&join.table)?;
+            let right_width = right.schema.columns.len();
+            schema.sources.push(right.schema.clone());
+            match join.kind {
+                JoinKind::Cross => self.cover("exec.cross_join"),
+                JoinKind::Inner => self.cover("exec.inner_join"),
+                JoinKind::Left => self.cover("exec.left_join"),
+            }
+            let ev = self.evaluator();
+            let mut next: Vec<Vec<Value>> = Vec::new();
+            match join.kind {
+                JoinKind::Cross => {
+                    next = cross_product(&rows, &right.rows);
+                }
+                JoinKind::Inner => {
+                    for l in &rows {
+                        for r in &right.rows {
+                            let mut combined = l.clone();
+                            combined.extend(r.iter().cloned());
+                            let keep = match &join.on {
+                                Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
+                                None => true,
+                            };
+                            if keep {
+                                next.push(combined);
+                            }
+                        }
+                    }
+                }
+                JoinKind::Left => {
+                    for l in &rows {
+                        let mut matched = false;
+                        for r in &right.rows {
+                            let mut combined = l.clone();
+                            combined.extend(r.iter().cloned());
+                            let keep = match &join.on {
+                                Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
+                                None => true,
+                            };
+                            if keep {
+                                matched = true;
+                                next.push(combined);
+                            }
+                        }
+                        if !matched {
+                            let mut combined = l.clone();
+                            combined.extend(std::iter::repeat(Value::Null).take(right_width));
+                            next.push(combined);
+                        }
+                    }
+                }
+            }
+            rows = next;
+        }
+
+        // Injected fault: a partial index whose predicate is `col NOT NULL`
+        // is (incorrectly) used for `col IS NOT <literal>` conditions,
+        // dropping NULL pivot rows (Listing 1).
+        if self.bugs().is_enabled(BugId::SqlitePartialIndexImpliesNotNull) && s.from.len() == 1 {
+            if let Some(w) = &s.where_clause {
+                if let Some(col) = find_is_not_literal_column(w) {
+                    let table = &s.from[0];
+                    let has_partial = self.db.indexes_on(table).iter().any(|i| {
+                        i.def.where_clause.as_ref().is_some_and(|p| {
+                            matches!(p, Expr::IsNull { negated: true, expr }
+                                if expr_references_column(expr, &col))
+                        })
+                    });
+                    if has_partial {
+                        self.cover("exec.partial_index");
+                        if let Some((ci, _)) =
+                            schema.resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&col))
+                        {
+                            rows.retain(|r| !r[ci].is_null());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Index fast path for single-table equality predicates.  Without any
+        // fault this is result-preserving; several faults corrupt it.
+        if s.from.len() == 1 && s.joins.is_empty() {
+            if let Some(w) = &s.where_clause {
+                if let Some((col, lit)) = find_equality_probe(w) {
+                    rows = self.index_equality_probe(&s.from[0], &col, &lit, &schema, rows)?;
+                }
+            }
+        }
+
+        // WHERE filter.
+        if let Some(w) = &s.where_clause {
+            self.cover("exec.where_filter");
+            let mut where_clause = w.clone();
+            // Injected fault: the LIKE optimisation on INTEGER-affinity
+            // NOCASE columns rejects exact matches (Listing 7).
+            if self.bugs().is_enabled(BugId::SqliteLikeIntAffinityOptimisation) {
+                where_clause = rewrite_like_int_affinity(&where_clause, &schema);
+            }
+            let ev = self.evaluator();
+            let mut kept = Vec::new();
+            for r in rows {
+                if ev.eval_predicate(&where_clause, &schema, &r)?.is_true() {
+                    kept.push(r);
+                }
+            }
+            rows = kept;
+        }
+
+        // Poisoned projection after RENAME COLUMN + double-quoted index
+        // expression (Listing 8).
+        if s.from.len() == 1 {
+            let table = &s.from[0];
+            let poisons: Vec<(String, String)> = self
+                .poisoned_columns
+                .iter()
+                .filter(|(t, _, _)| t.eq_ignore_ascii_case(table))
+                .map(|(_, new, old)| (new.clone(), old.clone()))
+                .collect();
+            for (new_name, old_name) in poisons {
+                if let Some((ci, _)) = schema
+                    .resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&new_name))
+                {
+                    for r in &mut rows {
+                        r[ci] = Value::Text(old_name.to_ascii_uppercase());
+                    }
+                }
+            }
+        }
+
+        // Aggregation or plain projection.
+        let has_aggregate = s.group_by.iter().any(Expr::contains_aggregate)
+            || s.having.as_ref().is_some_and(Expr::contains_aggregate)
+            || s.items.iter().any(|i| match i {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            });
+        let (columns, mut projected) = if !s.group_by.is_empty() || has_aggregate {
+            self.project_aggregate(s, &schema, &rows)?
+        } else {
+            self.project_plain(s, &schema, &rows)?
+        };
+
+        // DISTINCT.
+        if s.distinct {
+            self.cover("exec.distinct");
+            projected = self.apply_distinct(s, projected)?;
+        }
+
+        // ORDER BY (ordering never affects the containment oracle, but the
+        // engine still implements it for completeness).
+        if !s.order_by.is_empty() {
+            self.cover("exec.order_by");
+            if !has_aggregate && s.group_by.is_empty() {
+                // Already ordered during plain projection (see below).
+            }
+            projected.sort_by(|a, b| {
+                for (i, term) in s.order_by.iter().enumerate() {
+                    let (av, bv) = match (a.get(i.min(a.len().saturating_sub(1))), b.get(i.min(b.len().saturating_sub(1)))) {
+                        (Some(x), Some(y)) => (x, y),
+                        _ => continue,
+                    };
+                    let coll = term.collation.unwrap_or_default();
+                    let ord = av.total_cmp(bv, coll);
+                    let ord = if term.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        // LIMIT / OFFSET.
+        if s.limit.is_some() || s.offset.is_some() {
+            self.cover("exec.limit_offset");
+            let offset = s.offset.unwrap_or(0) as usize;
+            let limit = s.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+            projected = projected.into_iter().skip(offset).take(limit).collect();
+        }
+
+        Ok(QueryResult { columns, rows: projected, affected: 0 })
+    }
+
+    /// Uses an index to narrow down candidate rows for `col = literal`
+    /// predicates on a single table.  The full WHERE clause is still applied
+    /// afterwards, so with a correctly maintained index this is
+    /// result-preserving.
+    fn index_equality_probe(
+        &mut self,
+        table: &str,
+        col: &str,
+        lit: &Value,
+        schema: &RowSchema,
+        rows: Vec<Vec<Value>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        let Some(t) = self.db.table(table) else { return Ok(rows) };
+        let table_schema = t.schema.clone();
+        let Some(col_meta) = table_schema.column(col).cloned() else { return Ok(rows) };
+        // Find a usable (non-partial) index whose first key is the column.
+        let index_name = self
+            .db
+            .indexes_on(table)
+            .iter()
+            .find(|i| {
+                i.def.where_clause.is_none()
+                    && matches!(i.def.exprs.first(), Some(Expr::Column(c)) if c.column.eq_ignore_ascii_case(col))
+            })
+            .map(|i| i.def.name.clone());
+        let Some(index_name) = index_name else { return Ok(rows) };
+        self.cover("exec.index_lookup");
+        let mut probe = lit.clone();
+        // Injected fault: probes against an INTEGER PRIMARY KEY are coerced
+        // to integers even when the stored value is text (§4.4).
+        if self.bugs().is_enabled(BugId::SqliteRowidAliasInsertMismatch)
+            && col_meta.primary_key
+            && col_meta.type_name == Some(TypeName::Integer)
+        {
+            probe = Value::Integer(probe.to_integer_lenient().unwrap_or(0));
+        }
+        let binary_probe = self.bugs().is_enabled(BugId::SqliteCollateIndexBinaryKeys);
+        let index = self.db.index(&index_name).expect("index just resolved");
+        let matching: Vec<u64> = if binary_probe {
+            index
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.key.first().is_some_and(|k| k.total_cmp(&probe, Collation::Binary)
+                        == std::cmp::Ordering::Equal)
+                })
+                .map(|e| e.row_id)
+                .collect()
+        } else {
+            index
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.key.first().is_some_and(|k| {
+                        let coll = index.def.collations.first().copied().unwrap_or_default();
+                        match (k, &probe) {
+                            (Value::Text(a), Value::Text(b)) => coll.equal(a, b),
+                            _ => k.same_as(&probe),
+                        }
+                    })
+                })
+                .map(|e| e.row_id)
+                .collect()
+        };
+        // Map row ids back to full rows; fall back to the scan rows when the
+        // id is gone (defensive).
+        let t = self.db.require_table(table)?;
+        let mut out = Vec::new();
+        for rid in matching {
+            if let Some(row) = t.get(rid) {
+                out.push(row.values);
+            }
+        }
+        // Keep rows that the index cannot serve (e.g. rows whose key the
+        // comparison treats as equal across storage classes) out of the
+        // result only if the index is authoritative; with schema width
+        // mismatches (views), fall back to the original rows.
+        if schema.width() != t.schema.columns.len() {
+            return Ok(rows);
+        }
+        Ok(out)
+    }
+
+    fn project_plain(
+        &mut self,
+        s: &Select,
+        schema: &RowSchema,
+        rows: &[Vec<Value>],
+    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
+        let ev = self.evaluator();
+        let mut columns: Vec<String> = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, c) in schema.flat_columns() {
+                        columns.push(c.name);
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+                }
+            }
+        }
+        let mut projected = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut out_row = Vec::with_capacity(columns.len());
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => out_row.extend(r.iter().cloned()),
+                    SelectItem::Expr { expr, .. } => out_row.push(ev.eval(expr, schema, r)?),
+                }
+            }
+            projected.push(out_row);
+        }
+        Ok((columns, projected))
+    }
+
+    fn project_aggregate(
+        &mut self,
+        s: &Select,
+        schema: &RowSchema,
+        rows: &[Vec<Value>],
+    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
+        self.cover("exec.group_by");
+        let ev = self.evaluator();
+        // Build groups.
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
+        let mut input_rows: Vec<Vec<Value>> = rows.to_vec();
+
+        // Injected fault: GROUP BY over an inheritance parent merges child
+        // rows with parent rows that share the first grouping key
+        // (Listing 15).
+        if self.bugs().is_enabled(BugId::PostgresInheritanceGroupByMissingRow)
+            && !s.group_by.is_empty()
+            && s.from.len() == 1
+            && !self.db.children_of(&s.from[0]).is_empty()
+        {
+            let mut seen: Vec<Value> = Vec::new();
+            let mut filtered = Vec::new();
+            for r in input_rows {
+                let key = ev.eval(&s.group_by[0], schema, &r)?;
+                if seen.iter().any(|k| k.same_as(&key)) {
+                    continue;
+                }
+                seen.push(key);
+                filtered.push(r);
+            }
+            input_rows = filtered;
+        }
+
+        if s.group_by.is_empty() {
+            group_keys.push(Vec::new());
+            groups.push(input_rows);
+        } else {
+            let drop_null_groups = self.bugs().is_enabled(BugId::SqliteGroupByNoCaseDuplicates)
+                && s.group_by.iter().any(|g| ev.collation_of(g, schema) == Collation::NoCase);
+            for r in input_rows {
+                let mut key = Vec::with_capacity(s.group_by.len());
+                for g in &s.group_by {
+                    key.push(ev.eval(g, schema, &r)?);
+                }
+                // Injected fault: NULL-keyed groups are dropped when grouping
+                // on a NOCASE column (§4.4 COLLATE bugs).
+                if drop_null_groups && key.iter().any(Value::is_null) {
+                    continue;
+                }
+                match group_keys.iter().position(|k| {
+                    k.len() == key.len() && k.iter().zip(key.iter()).all(|(a, b)| a.same_as(b))
+                }) {
+                    Some(i) => groups[i].push(r),
+                    None => {
+                        group_keys.push(key);
+                        groups.push(vec![r]);
+                    }
+                }
+            }
+        }
+
+        let mut columns: Vec<String> = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, c) in schema.flat_columns() {
+                        columns.push(c.name);
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+                }
+            }
+        }
+
+        let mut out_rows = Vec::new();
+        for group in &groups {
+            // HAVING.
+            if let Some(h) = &s.having {
+                self.cover("exec.having");
+                let hv = self.eval_aggregate_expr(h, schema, group)?;
+                if !self.evaluator().value_to_tribool(&hv)?.is_true() {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::new();
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        if let Some(first) = group.first() {
+                            out_row.extend(first.iter().cloned());
+                        } else {
+                            out_row.extend(std::iter::repeat(Value::Null).take(schema.width()));
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(self.eval_aggregate_expr(expr, schema, group)?);
+                    }
+                }
+            }
+            out_rows.push(out_row);
+        }
+        // A query with aggregates but no GROUP BY always yields one row,
+        // even over an empty input.
+        if s.group_by.is_empty() && out_rows.is_empty() && s.having.is_none() {
+            let mut out_row = Vec::new();
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        out_row.extend(std::iter::repeat(Value::Null).take(schema.width()));
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(self.eval_aggregate_expr(expr, schema, &[])?);
+                    }
+                }
+            }
+            out_rows.push(out_row);
+        }
+        Ok((columns, out_rows))
+    }
+
+    /// Evaluates an expression that may contain aggregate calls over a group
+    /// of rows.
+    fn eval_aggregate_expr(
+        &self,
+        expr: &Expr,
+        schema: &RowSchema,
+        group: &[Vec<Value>],
+    ) -> EngineResult<Value> {
+        self.cover_const("expr.aggregate");
+        let ev = self.evaluator();
+        match expr {
+            Expr::Aggregate { func, arg, distinct } => {
+                let values: Vec<Value> = match arg {
+                    None => group.iter().map(|_| Value::Integer(1)).collect(),
+                    Some(a) => group
+                        .iter()
+                        .map(|r| ev.eval(a, schema, r))
+                        .collect::<EngineResult<_>>()?,
+                };
+                eval_aggregate(*func, &values, *distinct, self.dialect())
+            }
+            // Non-aggregate expressions are evaluated against the first row
+            // of the group (the bare-column shortcut SQLite and MySQL allow).
+            _ if !expr.contains_aggregate() => match group.first() {
+                Some(r) => ev.eval(expr, schema, r),
+                None => Ok(Value::Null),
+            },
+            Expr::Binary { op, left, right } => {
+                let l = self.eval_aggregate_expr(left, schema, group)?;
+                let r = self.eval_aggregate_expr(right, schema, group)?;
+                ev.eval(
+                    &Expr::Binary {
+                        op: *op,
+                        left: Box::new(Expr::Literal(l)),
+                        right: Box::new(Expr::Literal(r)),
+                    },
+                    &RowSchema::empty(),
+                    &[],
+                )
+            }
+            Expr::Unary { op, expr: inner } => {
+                let v = self.eval_aggregate_expr(inner, schema, group)?;
+                ev.eval(
+                    &Expr::Unary { op: *op, expr: Box::new(Expr::Literal(v)) },
+                    &RowSchema::empty(),
+                    &[],
+                )
+            }
+            other => Err(EngineError::semantic(format!(
+                "unsupported aggregate expression shape: {other}"
+            ))),
+        }
+    }
+
+    fn cover_const(&self, _feature: &str) {
+        // Coverage requires &mut self; aggregate-expression coverage is
+        // recorded by the callers that own mutable access.
+    }
+
+    fn apply_distinct(
+        &mut self,
+        s: &Select,
+        rows: Vec<Vec<Value>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        // Injected fault: the skip-scan optimisation applied to DISTINCT
+        // after ANALYZE dedupes on the first column only (Listing 6).
+        let skip_scan = self.bugs().is_enabled(BugId::SqliteSkipScanDistinct)
+            && s.from.len() == 1
+            && self.analyzed.contains(&s.from[0].to_ascii_lowercase())
+            && !self.db.indexes_on(&s.from[0]).is_empty();
+        // Injected fault: DISTINCT treats NULL as a duplicate of zero
+        // (§4.4 type flexibility).
+        let null_zero = self.bugs().is_enabled(BugId::SqliteDistinctNegativeZero);
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for row in rows {
+            let duplicate = out.iter().any(|existing| {
+                if skip_scan {
+                    match (existing.first(), row.first()) {
+                        (Some(a), Some(b)) => a.same_as(b),
+                        _ => existing.is_empty() && row.is_empty(),
+                    }
+                } else if null_zero {
+                    existing.len() == row.len()
+                        && existing.iter().zip(row.iter()).all(|(a, b)| {
+                            a.same_as(b)
+                                || (a.same_as(&Value::Integer(0)) && b.is_null())
+                                || (a.is_null() && b.same_as(&Value::Integer(0)))
+                        })
+                } else {
+                    existing.len() == row.len()
+                        && existing.iter().zip(row.iter()).all(|(a, b)| a.same_as(b))
+                }
+            });
+            if !duplicate {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn contains(rows: &[Vec<Value>], row: &[Value]) -> bool {
+    rows.iter()
+        .any(|r| r.len() == row.len() && r.iter().zip(row.iter()).all(|(a, b)| a.same_as(b)))
+}
+
+fn cross_product(left: &[Vec<Value>], right: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out = Vec::with_capacity(left.len() * right.len().max(1));
+    for l in left {
+        for r in right {
+            let mut combined = l.clone();
+            combined.extend(r.iter().cloned());
+            out.push(combined);
+        }
+    }
+    out
+}
+
+/// Returns `true` if any node of the expression satisfies the predicate.
+fn expr_contains(expr: &Expr, pred: &dyn Fn(&Expr) -> bool) -> bool {
+    if pred(expr) {
+        return true;
+    }
+    let mut found = false;
+    expr.for_each_child(&mut |c| {
+        if !found {
+            found = expr_contains(c, pred);
+        }
+    });
+    found
+}
+
+fn expr_references_column(expr: &Expr, column: &str) -> bool {
+    expr.column_refs().iter().any(|c| c.column.eq_ignore_ascii_case(column))
+}
+
+/// Detects a top-level `col IS NOT <non-null literal>` condition and returns
+/// the column name.
+fn find_is_not_literal_column(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Binary { op: BinaryOp::IsNot, left, right } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => Some(c.column.clone()),
+            (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => Some(c.column.clone()),
+            _ => None,
+        },
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            find_is_not_literal_column(left).or_else(|| find_is_not_literal_column(right))
+        }
+        _ => None,
+    }
+}
+
+/// Detects a WHERE clause that is exactly `col = literal` (possibly table
+/// qualified or wrapped in a conjunction) and returns the probe.
+fn find_equality_probe(expr: &Expr) -> Option<(String, Value)> {
+    match expr {
+        Expr::Binary { op: BinaryOp::Eq, left, right } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => {
+                Some((c.column.clone(), v.clone()))
+            }
+            (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => {
+                Some((c.column.clone(), v.clone()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Rewrites `col LIKE pattern` into `0` when `col` is an INTEGER-affinity
+/// NOCASE column and the pattern contains no wildcard — the shape of the
+/// broken LIKE optimisation from Listing 7.
+fn rewrite_like_int_affinity(expr: &Expr, schema: &RowSchema) -> Expr {
+    match expr {
+        Expr::Like { negated, expr: inner, pattern } => {
+            if let (Expr::Column(c), Expr::Literal(Value::Text(p))) =
+                (inner.as_ref(), pattern.as_ref())
+            {
+                if !p.contains('%') && !p.contains('_') {
+                    if let Some((_, meta)) = schema.resolve(c) {
+                        if meta.type_name == Some(TypeName::Integer)
+                            && meta.collation == Collation::NoCase
+                        {
+                            return Expr::Literal(Value::Integer(i64::from(*negated)));
+                        }
+                    }
+                }
+            }
+            expr.clone()
+        }
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_like_int_affinity(left, schema)),
+            right: Box::new(rewrite_like_int_affinity(right, schema)),
+        },
+        Expr::Unary { op, expr: inner } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_like_int_affinity(inner, schema)),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::BugProfile;
+
+    fn sqlite() -> Engine {
+        Engine::new(Dialect::Sqlite)
+    }
+
+    #[test]
+    fn listing1_pivot_row_is_fetched_without_the_fault() {
+        let mut e = sqlite();
+        e.execute_script(
+            "CREATE TABLE t0(c0);
+             CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;
+             INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL);",
+        )
+        .unwrap();
+        let r = e.execute_sql("SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1").unwrap();
+        assert_eq!(r.rows.len(), 4);
+        assert!(r.contains_row(&[Value::Null]));
+    }
+
+    #[test]
+    fn listing1_fault_drops_the_null_pivot_row() {
+        let mut e = Engine::with_bugs(
+            Dialect::Sqlite,
+            BugProfile::with(&[BugId::SqlitePartialIndexImpliesNotNull]),
+        );
+        e.execute_script(
+            "CREATE TABLE t0(c0);
+             CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;
+             INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL);",
+        )
+        .unwrap();
+        let r = e.execute_sql("SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1").unwrap();
+        assert!(!r.contains_row(&[Value::Null]), "the fault must hide the NULL row");
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn projection_joins_where_order_limit() {
+        let mut e = sqlite();
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT, c1 TEXT);
+             CREATE TABLE t1(c0 INT);
+             INSERT INTO t0(c0, c1) VALUES (1, 'a'), (2, 'b'), (3, 'c');
+             INSERT INTO t1(c0) VALUES (2), (3), (4);",
+        )
+        .unwrap();
+        let r = e.execute_sql("SELECT t0.c1 FROM t0, t1 WHERE t0.c0 = t1.c0").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = e
+            .execute_sql("SELECT t0.c0, t1.c0 FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 ORDER BY t0.c0")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0], vec![Value::Integer(1), Value::Null]);
+        let r = e.execute_sql("SELECT c0 FROM t0 ORDER BY c0 DESC LIMIT 2").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Integer(3)], vec![Value::Integer(2)]]);
+        let r = e.execute_sql("SELECT c0 FROM t0 ORDER BY c0 LIMIT 1 OFFSET 1").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Integer(2)]]);
+        let r = e.execute_sql("SELECT * FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns, vec!["c0", "c1", "c0"]);
+    }
+
+    #[test]
+    fn distinct_and_aggregates() {
+        let mut e = sqlite();
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT, c1 INT);
+             INSERT INTO t0(c0, c1) VALUES (1, 1), (1, 1), (2, 1), (NULL, 2);",
+        )
+        .unwrap();
+        let r = e.execute_sql("SELECT DISTINCT c0, c1 FROM t0").unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let r = e.execute_sql("SELECT COUNT(*), SUM(c0), MIN(c0), MAX(c0), AVG(c0) FROM t0").unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(4));
+        assert_eq!(r.rows[0][1], Value::Integer(4));
+        assert_eq!(r.rows[0][2], Value::Integer(1));
+        assert_eq!(r.rows[0][3], Value::Integer(2));
+        let r = e.execute_sql("SELECT c1, COUNT(*) FROM t0 GROUP BY c1").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = e.execute_sql("SELECT c1, COUNT(*) FROM t0 GROUP BY c1 HAVING COUNT(*) > 1").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Integer(3));
+        let r = e.execute_sql("SELECT COUNT(*) FROM t0 WHERE c0 > 100").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Integer(0)]]);
+    }
+
+    #[test]
+    fn views_and_compound_queries() {
+        let mut e = sqlite();
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT);
+             INSERT INTO t0(c0) VALUES (1), (2), (3);
+             CREATE VIEW v0 AS SELECT c0 FROM t0 WHERE c0 > 1;",
+        )
+        .unwrap();
+        let r = e.execute_sql("SELECT * FROM v0").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = e.execute_sql("SELECT 2 INTERSECT SELECT c0 FROM t0").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r = e.execute_sql("SELECT 9 INTERSECT SELECT c0 FROM t0").unwrap();
+        assert!(r.rows.is_empty());
+        let r = e.execute_sql("SELECT c0 FROM t0 UNION SELECT c0 FROM t0").unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let r = e.execute_sql("SELECT c0 FROM t0 UNION ALL SELECT c0 FROM t0").unwrap();
+        assert_eq!(r.rows.len(), 6);
+        let r = e.execute_sql("SELECT c0 FROM t0 EXCEPT SELECT 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn postgres_inheritance_scan_includes_children() {
+        let mut e = Engine::new(Dialect::Postgres);
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT PRIMARY KEY, c1 INT);
+             CREATE TABLE t1(c0 INT, c1 INT) INHERITS (t0);
+             INSERT INTO t0(c0, c1) VALUES (0, 0);
+             INSERT INTO t1(c0, c1) VALUES (0, 1);",
+        )
+        .unwrap();
+        let r = e.execute_sql("SELECT c0, c1 FROM t0 GROUP BY c0, c1").unwrap();
+        assert_eq!(r.rows.len(), 2, "both the parent and the child row form groups");
+    }
+
+    #[test]
+    fn listing15_fault_merges_inherited_group() {
+        let mut e = Engine::with_bugs(
+            Dialect::Postgres,
+            BugProfile::with(&[BugId::PostgresInheritanceGroupByMissingRow]),
+        );
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT PRIMARY KEY, c1 INT);
+             CREATE TABLE t1(c0 INT, c1 INT) INHERITS (t0);
+             INSERT INTO t0(c0, c1) VALUES (0, 0);
+             INSERT INTO t1(c0, c1) VALUES (0, 1);",
+        )
+        .unwrap();
+        let r = e.execute_sql("SELECT c0, c1 FROM t0 GROUP BY c0, c1").unwrap();
+        assert_eq!(r.rows.len(), 1, "the fault merges the child row into the parent group");
+    }
+
+    #[test]
+    fn skip_scan_distinct_fault_requires_analyze() {
+        let bugs = BugProfile::with(&[BugId::SqliteSkipScanDistinct]);
+        let mut e = Engine::with_bugs(Dialect::Sqlite, bugs);
+        e.execute_script(
+            "CREATE TABLE t1(c1, c2, c3, c4, PRIMARY KEY (c4, c3));
+             INSERT INTO t1(c3, c4) VALUES (0, 1), (1, 2), (0, 3);",
+        )
+        .unwrap();
+        let before = e.execute_sql("SELECT DISTINCT c3, c4 FROM t1").unwrap();
+        assert_eq!(before.rows.len(), 3, "fault is dormant before ANALYZE");
+        e.execute_sql("ANALYZE t1").unwrap();
+        let after = e.execute_sql("SELECT DISTINCT c3, c4 FROM t1").unwrap();
+        assert!(after.rows.len() < 3, "fault drops rows after ANALYZE");
+    }
+
+    #[test]
+    fn memory_engine_join_fault() {
+        let bugs = BugProfile::with(&[BugId::MysqlMemoryEngineJoinMiss]);
+        let mut e = Engine::with_bugs(Dialect::Mysql, bugs);
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT);
+             CREATE TABLE t1(c0 INT) ENGINE = MEMORY;
+             INSERT INTO t0(c0) VALUES (0);
+             INSERT INTO t1(c0) VALUES (-1);",
+        )
+        .unwrap();
+        let r = e
+            .execute_sql("SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED)) > (IFNULL('u', t0.c0))")
+            .unwrap();
+        assert!(r.rows.is_empty(), "the fault drops the negative MEMORY-engine row");
+        // Without the fault the row is fetched.
+        let mut clean = Engine::new(Dialect::Mysql);
+        clean
+            .execute_script(
+                "CREATE TABLE t0(c0 INT);
+                 CREATE TABLE t1(c0 INT) ENGINE = MEMORY;
+                 INSERT INTO t0(c0) VALUES (0);
+                 INSERT INTO t1(c0) VALUES (-1);",
+            )
+            .unwrap();
+        let r = clean
+            .execute_sql("SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED)) > (t0.c0)")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1, "without the fault the MEMORY-engine row joins normally");
+    }
+
+    #[test]
+    fn like_int_affinity_fault_listing7() {
+        let mut clean = sqlite();
+        clean
+            .execute_script(
+                "CREATE TABLE t0(c0 INT UNIQUE COLLATE NOCASE);
+                 INSERT INTO t0(c0) VALUES ('./');",
+            )
+            .unwrap();
+        let r = clean.execute_sql("SELECT * FROM t0 WHERE t0.c0 LIKE './'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let mut buggy = Engine::with_bugs(
+            Dialect::Sqlite,
+            BugProfile::with(&[BugId::SqliteLikeIntAffinityOptimisation]),
+        );
+        buggy
+            .execute_script(
+                "CREATE TABLE t0(c0 INT UNIQUE COLLATE NOCASE);
+                 INSERT INTO t0(c0) VALUES ('./');",
+            )
+            .unwrap();
+        let r = buggy.execute_sql("SELECT * FROM t0 WHERE t0.c0 LIKE './'").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn postgres_planning_fault_listing16() {
+        let bugs = BugProfile::with(&[BugId::PostgresStatisticsNegativeBitmapset]);
+        let mut e = Engine::with_bugs(Dialect::Postgres, bugs);
+        e.execute_script(
+            "CREATE TABLE t0(c0 SERIAL, c1 BOOLEAN);
+             CREATE STATISTICS s1 ON c0, c1 FROM t0;
+             INSERT INTO t0(c1) VALUES (TRUE);
+             ANALYZE;
+             CREATE INDEX i0 ON t0((t0.c1 AND t0.c1));",
+        )
+        .unwrap();
+        let err = e
+            .execute_sql("SELECT t0.c0 FROM t0 WHERE (t0.c1 AND t0.c1) OR FALSE")
+            .unwrap_err();
+        assert!(err.message.contains("negative bitmapset member"), "{}", err.message);
+    }
+
+    #[test]
+    fn where_filter_strictness_in_postgres() {
+        let mut e = Engine::new(Dialect::Postgres);
+        e.execute_script("CREATE TABLE t0(c0 INT); INSERT INTO t0(c0) VALUES (1);").unwrap();
+        assert!(e.execute_sql("SELECT * FROM t0 WHERE c0 + 1").is_err());
+        assert_eq!(e.execute_sql("SELECT * FROM t0 WHERE c0 = 1").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn select_from_missing_table_errors() {
+        let mut e = sqlite();
+        assert!(e.execute_sql("SELECT * FROM nope").is_err());
+    }
+}

@@ -1,0 +1,610 @@
+//! Rendering of the AST back to SQL text.
+//!
+//! Every AST node implements [`std::fmt::Display`] such that the emitted SQL
+//! parses back to an equivalent AST (round-trip property, checked by
+//! property-based tests).  Expressions are emitted fully parenthesised so the
+//! renderer never has to reason about operator precedence — the same choice
+//! SQLancer makes when printing its randomly generated expressions.
+
+use std::fmt;
+
+use crate::ast::expr::{BinaryOp, Expr, TypeName, UnaryOp};
+use crate::ast::stmt::{
+    AlterTable, ColumnConstraint, ColumnDef, CompoundOp, CreateIndex, CreateTable, Delete, Insert,
+    Join, JoinKind, OnConflict, OrderingTerm, Query, Select, SelectItem, SetScope, Statement,
+    TableConstraint, TableEngine, Update,
+};
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnaryOp::Not => "NOT ",
+            UnaryOp::Neg => "-",
+            UnaryOp::Plus => "+",
+            UnaryOp::BitNot => "~",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::ShiftLeft => "<<",
+            BinaryOp::ShiftRight => ">>",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Is => "IS",
+            BinaryOp::IsNot => "IS NOT",
+            BinaryOp::NullSafeEq => "<=>",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TypeName::Integer => "INT",
+            TypeName::TinyInt => "TINYINT",
+            TypeName::Unsigned => "INT UNSIGNED",
+            TypeName::Real => "REAL",
+            TypeName::Text => "TEXT",
+            TypeName::Blob => "BLOB",
+            TypeName::Boolean => "BOOLEAN",
+            TypeName::Serial => "SERIAL",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => f.write_str(&v.to_sql_literal()),
+            Expr::Column(c) => match &c.table {
+                Some(t) => write!(f, "{t}.{}", c.column),
+                None => f.write_str(&c.column),
+            },
+            // The operand of a prefix operator is parenthesised: `-(-3)` must
+            // not be emitted as `--3`, which would lex as a line comment.
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Unary { op, expr } => write!(f, "({op}({expr}))"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Like { negated, expr, pattern } => {
+                if *negated {
+                    write!(f, "({expr} NOT LIKE {pattern})")
+                } else {
+                    write!(f, "({expr} LIKE {pattern})")
+                }
+            }
+            Expr::Between { negated, expr, low, high } => {
+                if *negated {
+                    write!(f, "({expr} NOT BETWEEN {low} AND {high})")
+                } else {
+                    write!(f, "({expr} BETWEEN {low} AND {high})")
+                }
+            }
+            Expr::InList { negated, expr, list } => {
+                let items: Vec<String> = list.iter().map(ToString::to_string).collect();
+                if *negated {
+                    write!(f, "({expr} NOT IN ({}))", items.join(", "))
+                } else {
+                    write!(f, "({expr} IN ({}))", items.join(", "))
+                }
+            }
+            Expr::IsNull { negated, expr } => {
+                if *negated {
+                    write!(f, "({expr} IS NOT NULL)")
+                } else {
+                    write!(f, "({expr} IS NULL)")
+                }
+            }
+            Expr::Cast { expr, type_name } => write!(f, "CAST({expr} AS {type_name})"),
+            Expr::Case { operand, branches, else_expr } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (when, then) in branches {
+                    write!(f, " WHEN {when} THEN {then}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Function { func, args } => {
+                let items: Vec<String> = args.iter().map(ToString::to_string).collect();
+                write!(f, "{}({})", func.name(), items.join(", "))
+            }
+            Expr::Aggregate { func, arg, distinct } => match arg {
+                Some(a) if *distinct => write!(f, "{}(DISTINCT {a})", func.name()),
+                Some(a) => write!(f, "{}({a})", func.name()),
+                None => write!(f, "{}(*)", func.name()),
+            },
+            // The operand is parenthesised so that prefix operators inside it
+            // (e.g. a folded negative literal) cannot re-associate with the
+            // tighter-binding COLLATE on re-parsing.
+            Expr::Collate { expr, collation } => write!(f, "(({expr}) COLLATE {collation})"),
+        }
+    }
+}
+
+impl fmt::Display for ColumnConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnConstraint::PrimaryKey => f.write_str("PRIMARY KEY"),
+            ColumnConstraint::Unique => f.write_str("UNIQUE"),
+            ColumnConstraint::NotNull => f.write_str("NOT NULL"),
+            ColumnConstraint::Collate(c) => write!(f, "COLLATE {c}"),
+            ColumnConstraint::Default(v) => write!(f, "DEFAULT {}", v.to_sql_literal()),
+            ColumnConstraint::Check(e) => write!(f, "CHECK ({e})"),
+        }
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if let Some(t) = &self.type_name {
+            write!(f, " {t}")?;
+        }
+        for c in &self.constraints {
+            write!(f, " {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableConstraint::PrimaryKey(cols) => write!(f, "PRIMARY KEY ({})", cols.join(", ")),
+            TableConstraint::Unique(cols) => write!(f, "UNIQUE ({})", cols.join(", ")),
+            TableConstraint::Check(e) => write!(f, "CHECK ({e})"),
+        }
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CREATE TABLE ")?;
+        if self.if_not_exists {
+            f.write_str("IF NOT EXISTS ")?;
+        }
+        write!(f, "{}(", self.name)?;
+        let mut parts: Vec<String> = self.columns.iter().map(ToString::to_string).collect();
+        parts.extend(self.constraints.iter().map(ToString::to_string));
+        f.write_str(&parts.join(", "))?;
+        f.write_str(")")?;
+        if let Some(parent) = &self.inherits {
+            write!(f, " INHERITS ({parent})")?;
+        }
+        if self.without_rowid {
+            f.write_str(" WITHOUT ROWID")?;
+        }
+        match self.engine {
+            TableEngine::Default => {}
+            TableEngine::Memory => f.write_str(" ENGINE = MEMORY")?,
+            TableEngine::Csv => f.write_str(" ENGINE = CSV")?,
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CreateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CREATE ")?;
+        if self.unique {
+            f.write_str("UNIQUE ")?;
+        }
+        f.write_str("INDEX ")?;
+        if self.if_not_exists {
+            f.write_str("IF NOT EXISTS ")?;
+        }
+        write!(f, "{} ON {}(", self.name, self.table)?;
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut s = c.expr.to_string();
+                if let Some(coll) = c.collation {
+                    s.push_str(&format!(" COLLATE {coll}"));
+                }
+                if c.descending {
+                    s.push_str(" DESC");
+                }
+                s
+            })
+            .collect();
+        f.write_str(&cols.join(", "))?;
+        f.write_str(")")?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AlterTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlterTable::RenameTable { table, new_name } => {
+                write!(f, "ALTER TABLE {table} RENAME TO {new_name}")
+            }
+            AlterTable::RenameColumn { table, old, new } => {
+                write!(f, "ALTER TABLE {table} RENAME COLUMN {old} TO {new}")
+            }
+            AlterTable::AddColumn { table, def } => {
+                write!(f, "ALTER TABLE {table} ADD COLUMN {def}")
+            }
+        }
+    }
+}
+
+fn on_conflict_prefix(oc: OnConflict) -> &'static str {
+    match oc {
+        OnConflict::Abort => "",
+        OnConflict::Ignore => "OR IGNORE ",
+        OnConflict::Replace => "OR REPLACE ",
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT {}INTO {}", on_conflict_prefix(self.on_conflict), self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, "({})", self.columns.join(", "))?;
+        }
+        f.write_str(" VALUES ")?;
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let vals: Vec<String> = row.iter().map(ToString::to_string).collect();
+                format!("({})", vals.join(", "))
+            })
+            .collect();
+        f.write_str(&rows.join(", "))
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {}{} SET ", on_conflict_prefix(self.on_conflict), self.table)?;
+        let sets: Vec<String> =
+            self.assignments.iter().map(|(c, e)| format!("{c} = {e}")).collect();
+        f.write_str(&sets.join(", "))?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+        }
+    }
+}
+
+impl fmt::Display for OrderingTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if let Some(c) = self.collation {
+            write!(f, " COLLATE {c}")?;
+        }
+        if self.descending {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            JoinKind::Cross => write!(f, "CROSS JOIN {}", self.table)?,
+            JoinKind::Inner => write!(f, "INNER JOIN {}", self.table)?,
+            JoinKind::Left => write!(f, "LEFT JOIN {}", self.table)?,
+        }
+        if let Some(on) = &self.on {
+            write!(f, " ON {on}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        let items: Vec<String> = self.items.iter().map(ToString::to_string).collect();
+        f.write_str(&items.join(", "))?;
+        if !self.from.is_empty() {
+            write!(f, " FROM {}", self.from.join(", "))?;
+        }
+        for j in &self.joins {
+            write!(f, " {j}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            let g: Vec<String> = self.group_by.iter().map(ToString::to_string).collect();
+            write!(f, " GROUP BY {}", g.join(", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            let o: Vec<String> = self.order_by.iter().map(ToString::to_string).collect();
+            write!(f, " ORDER BY {}", o.join(", "))?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CompoundOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompoundOp::Union => "UNION",
+            CompoundOp::UnionAll => "UNION ALL",
+            CompoundOp::Intersect => "INTERSECT",
+            CompoundOp::Except => "EXCEPT",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Select(s) => write!(f, "{s}"),
+            Query::Compound { left, op, right } => write!(f, "{left} {op} {right}"),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(ct) => write!(f, "{ct}"),
+            Statement::CreateIndex(ci) => write!(f, "{ci}"),
+            Statement::CreateView { name, query } => write!(f, "CREATE VIEW {name} AS {query}"),
+            Statement::DropTable { name, if_exists } => {
+                if *if_exists {
+                    write!(f, "DROP TABLE IF EXISTS {name}")
+                } else {
+                    write!(f, "DROP TABLE {name}")
+                }
+            }
+            Statement::DropIndex { name, if_exists } => {
+                if *if_exists {
+                    write!(f, "DROP INDEX IF EXISTS {name}")
+                } else {
+                    write!(f, "DROP INDEX {name}")
+                }
+            }
+            Statement::DropView { name, if_exists } => {
+                if *if_exists {
+                    write!(f, "DROP VIEW IF EXISTS {name}")
+                } else {
+                    write!(f, "DROP VIEW {name}")
+                }
+            }
+            Statement::AlterTable(a) => write!(f, "{a}"),
+            Statement::Insert(i) => write!(f, "{i}"),
+            Statement::Update(u) => write!(f, "{u}"),
+            Statement::Delete(d) => write!(f, "{d}"),
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Vacuum { full } => {
+                if *full {
+                    f.write_str("VACUUM FULL")
+                } else {
+                    f.write_str("VACUUM")
+                }
+            }
+            Statement::Reindex { target } => match target {
+                Some(t) => write!(f, "REINDEX {t}"),
+                None => f.write_str("REINDEX"),
+            },
+            Statement::Analyze { target } => match target {
+                Some(t) => write!(f, "ANALYZE {t}"),
+                None => f.write_str("ANALYZE"),
+            },
+            Statement::CheckTable { table, for_upgrade } => {
+                if *for_upgrade {
+                    write!(f, "CHECK TABLE {table} FOR UPGRADE")
+                } else {
+                    write!(f, "CHECK TABLE {table}")
+                }
+            }
+            Statement::RepairTable { table } => write!(f, "REPAIR TABLE {table}"),
+            Statement::Pragma { name, value } => match value {
+                Some(v) => write!(f, "PRAGMA {name} = {}", v.to_sql_literal()),
+                None => write!(f, "PRAGMA {name}"),
+            },
+            Statement::Set { scope, name, value } => {
+                let scope_str = match scope {
+                    SetScope::Session => "SESSION ",
+                    SetScope::Global => "GLOBAL ",
+                };
+                write!(f, "SET {scope_str}{name} = {}", value.to_sql_literal())
+            }
+            Statement::CreateStatistics { name, columns, table } => {
+                write!(f, "CREATE STATISTICS {name} ON {} FROM {table}", columns.join(", "))
+            }
+            Statement::Discard => f.write_str("DISCARD ALL"),
+            Statement::Begin => f.write_str("BEGIN"),
+            Statement::Commit => f.write_str("COMMIT"),
+            Statement::Rollback => f.write_str("ROLLBACK"),
+        }
+    }
+}
+
+/// Renders a sequence of statements as a semicolon-terminated SQL script.
+#[must_use]
+pub fn render_script(statements: &[Statement]) -> String {
+    let mut out = String::new();
+    for s in statements {
+        out.push_str(&s.to_string());
+        out.push_str(";\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::expr::{AggFunc, ColumnRef};
+    use crate::collation::Collation;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_listing1_style_statements() {
+        // The motivating SQLite bug from Listing 1 of the paper.
+        let ct = Statement::CreateTable(CreateTable::new("t0", vec![ColumnDef::new("c0", None)]));
+        assert_eq!(ct.to_string(), "CREATE TABLE t0(c0)");
+
+        let ci = Statement::CreateIndex(CreateIndex {
+            name: "i0".into(),
+            table: "t0".into(),
+            columns: vec![crate::ast::stmt::IndexedColumn {
+                expr: Expr::int(1),
+                collation: None,
+                descending: false,
+            }],
+            unique: false,
+            where_clause: Some(Expr::IsNull {
+                negated: true,
+                expr: Box::new(Expr::col("c0")),
+            }),
+            if_not_exists: false,
+        });
+        assert_eq!(ci.to_string(), "CREATE INDEX i0 ON t0(1) WHERE (c0 IS NOT NULL)");
+
+        let sel = Statement::Select(Query::select(Select {
+            where_clause: Some(Expr::binary(
+                BinaryOp::IsNot,
+                Expr::Column(ColumnRef::qualified("t0", "c0")),
+                Expr::int(1),
+            )),
+            ..Select::star(vec!["t0".into()])
+        }));
+        assert_eq!(sel.to_string(), "SELECT * FROM t0 WHERE (t0.c0 IS NOT 1)");
+    }
+
+    #[test]
+    fn renders_insert_update_delete() {
+        let ins = Statement::Insert(Insert {
+            table: "t0".into(),
+            columns: vec!["c0".into()],
+            rows: vec![vec![Expr::int(0)], vec![Expr::null()]],
+            on_conflict: OnConflict::Ignore,
+        });
+        assert_eq!(ins.to_string(), "INSERT OR IGNORE INTO t0(c0) VALUES (0), (NULL)");
+
+        let upd = Statement::Update(Update {
+            table: "t0".into(),
+            assignments: vec![("c0".into(), Expr::null())],
+            where_clause: Some(Expr::col("c1").eq(Expr::int(3))),
+            on_conflict: OnConflict::Replace,
+        });
+        assert_eq!(upd.to_string(), "UPDATE OR REPLACE t0 SET c0 = NULL WHERE (c1 = 3)");
+
+        let del = Statement::Delete(Delete { table: "t0".into(), where_clause: None });
+        assert_eq!(del.to_string(), "DELETE FROM t0");
+    }
+
+    #[test]
+    fn renders_expressions_with_parens() {
+        let e = Expr::col("c0").eq(Expr::int(1)).and(Expr::col("c1").not());
+        assert_eq!(e.to_string(), "((c0 = 1) AND (NOT c1))");
+        let agg = Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false };
+        assert_eq!(agg.to_string(), "COUNT(*)");
+        let coll = Expr::Collate { expr: Box::new(Expr::col("c0")), collation: Collation::Rtrim };
+        assert_eq!(coll.to_string(), "((c0) COLLATE RTRIM)");
+        let cast = Expr::Cast { expr: Box::new(Expr::col("c0")), type_name: TypeName::Unsigned };
+        assert_eq!(cast.to_string(), "CAST(c0 AS INT UNSIGNED)");
+    }
+
+    #[test]
+    fn renders_compound_intersect_query() {
+        let q = Query::intersect(
+            Query::select(Select::constants(vec![Expr::int(3), Expr::lit(Value::Null)])),
+            Query::select(Select::star(vec!["t0".into()])),
+        );
+        assert_eq!(q.to_string(), "SELECT 3, NULL INTERSECT SELECT * FROM t0");
+    }
+
+    #[test]
+    fn renders_options_and_maintenance() {
+        assert_eq!(
+            Statement::Pragma { name: "case_sensitive_like".into(), value: Some(Value::Integer(0)) }
+                .to_string(),
+            "PRAGMA case_sensitive_like = 0"
+        );
+        assert_eq!(
+            Statement::Set {
+                scope: SetScope::Global,
+                name: "key_cache_division_limit".into(),
+                value: Value::Integer(100)
+            }
+            .to_string(),
+            "SET GLOBAL key_cache_division_limit = 100"
+        );
+        assert_eq!(Statement::Vacuum { full: true }.to_string(), "VACUUM FULL");
+        assert_eq!(Statement::Reindex { target: None }.to_string(), "REINDEX");
+        assert_eq!(
+            Statement::CheckTable { table: "t0".into(), for_upgrade: true }.to_string(),
+            "CHECK TABLE t0 FOR UPGRADE"
+        );
+    }
+
+    #[test]
+    fn script_rendering_appends_semicolons() {
+        let script = render_script(&[
+            Statement::Begin,
+            Statement::Commit,
+        ]);
+        assert_eq!(script, "BEGIN;\nCOMMIT;\n");
+    }
+}

@@ -1,0 +1,652 @@
+//! SQL expression AST.
+//!
+//! The node set mirrors the expression generator in the paper (Algorithm 1):
+//! literals, column references, unary and binary operators, `BETWEEN`, `IN`,
+//! `CASE`, `CAST`, `LIKE`, `COLLATE`, scalar functions and aggregate
+//! functions.  The same nodes are evaluated by two *independent*
+//! implementations: the DBMS engine (`lancer-engine`) and the PQS ground-truth
+//! interpreter (`lancer-core::interp`), exactly as in SQLancer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::collation::Collation;
+use crate::value::Value;
+
+/// A reference to a column, optionally qualified with a table name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// The table (or alias) qualifier, if any.
+    pub table: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates an unqualified column reference.
+    #[must_use]
+    pub fn unqualified(column: impl Into<String>) -> Self {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    /// Creates a table-qualified column reference.
+    #[must_use]
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Logical negation (`NOT`).
+    Not,
+    /// Arithmetic negation (`-`).
+    Neg,
+    /// Arithmetic identity (`+`).
+    Plus,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+impl UnaryOp {
+    /// All unary operators, for random selection by generators.
+    pub const ALL: [UnaryOp; 4] = [UnaryOp::Not, UnaryOp::Neg, UnaryOp::Plus, UnaryOp::BitNot];
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `||` string concatenation.
+    Concat,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `<<`
+    ShiftLeft,
+    /// `>>`
+    ShiftRight,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `IS` — null-safe equality (SQLite).
+    Is,
+    /// `IS NOT` — null-safe inequality (SQLite; the operator behind the
+    /// motivating bug in Listing 1 of the paper).
+    IsNot,
+    /// `<=>` — MySQL's null-safe equality operator.
+    NullSafeEq,
+    /// Logical `AND`.
+    And,
+    /// Logical `OR`.
+    Or,
+}
+
+impl BinaryOp {
+    /// Comparison operators that always produce a boolean-typed result.
+    pub const COMPARISONS: [BinaryOp; 6] =
+        [BinaryOp::Eq, BinaryOp::Ne, BinaryOp::Lt, BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge];
+
+    /// Arithmetic operators.
+    pub const ARITHMETIC: [BinaryOp; 5] =
+        [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div, BinaryOp::Mod];
+
+    /// Returns `true` if the operator yields a boolean-like result.
+    #[must_use]
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::Is
+                | BinaryOp::IsNot
+                | BinaryOp::NullSafeEq
+                | BinaryOp::And
+                | BinaryOp::Or
+        )
+    }
+}
+
+/// Declared column / cast target types.
+///
+/// The set is the union of what the three dialect profiles support; each
+/// dialect restricts which of these it accepts (e.g. `Unsigned` and
+/// `TinyInt` are MySQL-only, `Serial` is PostgreSQL-only, omitting the type
+/// entirely is SQLite-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeName {
+    /// Generic signed 64-bit integer (`INT` / `INTEGER`).
+    Integer,
+    /// MySQL `TINYINT` (range -128..=127).
+    TinyInt,
+    /// MySQL `INT UNSIGNED` (range 0..=u32::MAX modelled as 0..=2^63-1 clamp).
+    Unsigned,
+    /// Double-precision float (`REAL` / `DOUBLE`).
+    Real,
+    /// Character data (`TEXT` / `VARCHAR`).
+    Text,
+    /// Binary data (`BLOB` / `BYTEA`).
+    Blob,
+    /// Boolean (`BOOLEAN`).
+    Boolean,
+    /// PostgreSQL auto-incrementing `SERIAL`.
+    Serial,
+}
+
+impl TypeName {
+    /// All type names, for random selection by generators.
+    pub const ALL: [TypeName; 8] = [
+        TypeName::Integer,
+        TypeName::TinyInt,
+        TypeName::Unsigned,
+        TypeName::Real,
+        TypeName::Text,
+        TypeName::Blob,
+        TypeName::Boolean,
+        TypeName::Serial,
+    ];
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarFunc {
+    /// `ABS(x)`
+    Abs,
+    /// `LENGTH(x)`
+    Length,
+    /// `LOWER(x)`
+    Lower,
+    /// `UPPER(x)`
+    Upper,
+    /// `COALESCE(x, ...)`
+    Coalesce,
+    /// `IFNULL(x, y)`
+    IfNull,
+    /// `NULLIF(x, y)`
+    NullIf,
+    /// Scalar `MIN(x, ...)` (SQLite multi-argument min).
+    Min,
+    /// Scalar `MAX(x, ...)` (SQLite multi-argument max).
+    Max,
+    /// `HEX(x)`
+    Hex,
+    /// `TYPEOF(x)`
+    TypeOf,
+    /// `TRIM(x)`
+    Trim,
+    /// `LTRIM(x)`
+    Ltrim,
+    /// `RTRIM(x)`
+    Rtrim,
+    /// `REPLACE(x, from, to)`
+    Replace,
+    /// `SUBSTR(x, start[, len])`
+    Substr,
+    /// `INSTR(haystack, needle)`
+    Instr,
+}
+
+impl ScalarFunc {
+    /// All scalar functions, for random selection by generators.
+    pub const ALL: [ScalarFunc; 17] = [
+        ScalarFunc::Abs,
+        ScalarFunc::Length,
+        ScalarFunc::Lower,
+        ScalarFunc::Upper,
+        ScalarFunc::Coalesce,
+        ScalarFunc::IfNull,
+        ScalarFunc::NullIf,
+        ScalarFunc::Min,
+        ScalarFunc::Max,
+        ScalarFunc::Hex,
+        ScalarFunc::TypeOf,
+        ScalarFunc::Trim,
+        ScalarFunc::Ltrim,
+        ScalarFunc::Rtrim,
+        ScalarFunc::Replace,
+        ScalarFunc::Substr,
+        ScalarFunc::Instr,
+    ];
+
+    /// The SQL name of the function.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Length => "LENGTH",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Coalesce => "COALESCE",
+            ScalarFunc::IfNull => "IFNULL",
+            ScalarFunc::NullIf => "NULLIF",
+            ScalarFunc::Min => "MIN",
+            ScalarFunc::Max => "MAX",
+            ScalarFunc::Hex => "HEX",
+            ScalarFunc::TypeOf => "TYPEOF",
+            ScalarFunc::Trim => "TRIM",
+            ScalarFunc::Ltrim => "LTRIM",
+            ScalarFunc::Rtrim => "RTRIM",
+            ScalarFunc::Replace => "REPLACE",
+            ScalarFunc::Substr => "SUBSTR",
+            ScalarFunc::Instr => "INSTR",
+        }
+    }
+
+    /// The accepted argument-count range for this function.
+    #[must_use]
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            ScalarFunc::Abs
+            | ScalarFunc::Length
+            | ScalarFunc::Lower
+            | ScalarFunc::Upper
+            | ScalarFunc::Hex
+            | ScalarFunc::TypeOf
+            | ScalarFunc::Trim
+            | ScalarFunc::Ltrim
+            | ScalarFunc::Rtrim => (1, 1),
+            ScalarFunc::IfNull | ScalarFunc::NullIf | ScalarFunc::Instr => (2, 2),
+            ScalarFunc::Replace => (3, 3),
+            ScalarFunc::Substr => (2, 3),
+            ScalarFunc::Coalesce => (1, 4),
+            // Single-argument MIN/MAX is the aggregate form; the scalar
+            // functions require at least two arguments, which also keeps the
+            // rendered SQL unambiguous.
+            ScalarFunc::Min | ScalarFunc::Max => (2, 4),
+        }
+    }
+
+    /// Parses a function name (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<ScalarFunc> {
+        let upper = name.to_ascii_uppercase();
+        ScalarFunc::ALL.into_iter().find(|f| f.name() == upper)
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(x)` / `COUNT(*)`
+    Count,
+    /// `SUM(x)`
+    Sum,
+    /// `AVG(x)`
+    Avg,
+    /// `MIN(x)`
+    Min,
+    /// `MAX(x)`
+    Max,
+}
+
+impl AggFunc {
+    /// All aggregate functions, for random selection by generators.
+    pub const ALL: [AggFunc; 5] =
+        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+
+    /// The SQL name of the aggregate.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Parses an aggregate name (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        let upper = name.to_ascii_uppercase();
+        AggFunc::ALL.into_iter().find(|f| f.name() == upper)
+    }
+}
+
+/// A SQL expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(Value),
+    /// A column reference.
+    Column(ColumnRef),
+    /// A unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operator application.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `x [NOT] LIKE pattern`
+    Like {
+        /// Whether the result is negated.
+        negated: bool,
+        /// The matched expression.
+        expr: Box<Expr>,
+        /// The pattern expression.
+        pattern: Box<Expr>,
+    },
+    /// `x [NOT] BETWEEN low AND high`
+    Between {
+        /// Whether the result is negated.
+        negated: bool,
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+    },
+    /// `x [NOT] IN (a, b, ...)`
+    InList {
+        /// Whether the result is negated.
+        negated: bool,
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The list members.
+        list: Vec<Expr>,
+    },
+    /// `x IS [NOT] NULL`
+    IsNull {
+        /// Whether this is `IS NOT NULL`.
+        negated: bool,
+        /// The tested expression.
+        expr: Box<Expr>,
+    },
+    /// `CAST(x AS type)`
+    Cast {
+        /// The cast operand.
+        expr: Box<Expr>,
+        /// The target type.
+        type_name: TypeName,
+    },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`
+    Case {
+        /// Optional operand for the "simple" CASE form.
+        operand: Option<Box<Expr>>,
+        /// `WHEN cond THEN result` pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// Optional `ELSE` result.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// A scalar function call.
+    Function {
+        /// The function.
+        func: ScalarFunc,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+    /// An aggregate function call (only valid in `SELECT` / `HAVING`).
+    Aggregate {
+        /// The aggregate.
+        func: AggFunc,
+        /// The aggregated expression; `None` means `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        /// Whether `DISTINCT` applies to the aggregated values.
+        distinct: bool,
+    },
+    /// `expr COLLATE collation`
+    Collate {
+        /// The collated expression.
+        expr: Box<Expr>,
+        /// The collation.
+        collation: Collation,
+    },
+}
+
+impl Expr {
+    /// Literal constructor.
+    #[must_use]
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    /// Integer literal constructor.
+    #[must_use]
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Value::Integer(i))
+    }
+
+    /// Text literal constructor.
+    #[must_use]
+    pub fn text(s: impl Into<String>) -> Expr {
+        Expr::Literal(Value::Text(s.into()))
+    }
+
+    /// NULL literal constructor.
+    #[must_use]
+    pub fn null() -> Expr {
+        Expr::Literal(Value::Null)
+    }
+
+    /// Unqualified column constructor.
+    #[must_use]
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::unqualified(name))
+    }
+
+    /// Qualified column constructor.
+    #[must_use]
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::qualified(table, name))
+    }
+
+    /// Wraps the expression in a `NOT`.
+    #[must_use]
+    pub fn not(self) -> Expr {
+        Expr::Unary { op: UnaryOp::Not, expr: Box::new(self) }
+    }
+
+    /// Appends `IS NULL`.
+    #[must_use]
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull { negated: false, expr: Box::new(self) }
+    }
+
+    /// Combines two expressions with `AND`.
+    #[must_use]
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary { op: BinaryOp::And, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Combines two expressions with `OR`.
+    #[must_use]
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Binary { op: BinaryOp::Or, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Builds a binary comparison.
+    #[must_use]
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Builds `left = right`.
+    #[must_use]
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Eq, self, other)
+    }
+
+    /// Returns the number of nodes in the expression tree.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        let mut count = 1;
+        self.for_each_child(&mut |child| count += child.node_count());
+        count
+    }
+
+    /// Returns the maximum depth of the expression tree.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut max_child = 0;
+        self.for_each_child(&mut |child| max_child = max_child.max(child.depth()));
+        1 + max_child
+    }
+
+    /// Visits every direct child expression.
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match self {
+            Expr::Literal(_) | Expr::Column(_) => {}
+            Expr::Unary { expr, .. }
+            | Expr::IsNull { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::Collate { expr, .. } => f(expr),
+            Expr::Binary { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                f(expr);
+                f(pattern);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                f(expr);
+                f(low);
+                f(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                f(expr);
+                for e in list {
+                    f(e);
+                }
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(op) = operand {
+                    f(op);
+                }
+                for (w, t) in branches {
+                    f(w);
+                    f(t);
+                }
+                if let Some(e) = else_expr {
+                    f(e);
+                }
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Collects all column references in the expression.
+    #[must_use]
+    pub fn column_refs(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a ColumnRef>) {
+            if let Expr::Column(c) = e {
+                out.push(c);
+            }
+            e.for_each_child(&mut |child| walk(child, out));
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Returns `true` if the expression contains an aggregate function call.
+    #[must_use]
+    pub fn contains_aggregate(&self) -> bool {
+        if matches!(self, Expr::Aggregate { .. }) {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_child(&mut |child| found = found || child.contains_aggregate());
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_helpers_produce_expected_shapes() {
+        let e = Expr::col("c0").eq(Expr::int(3)).and(Expr::qcol("t0", "c1").not());
+        assert_eq!(e.node_count(), 6);
+        assert_eq!(e.depth(), 3);
+        assert_eq!(e.column_refs().len(), 2);
+        assert!(!e.contains_aggregate());
+    }
+
+    #[test]
+    fn aggregate_detection_is_recursive() {
+        let e = Expr::Function {
+            func: ScalarFunc::Coalesce,
+            args: vec![
+                Expr::Aggregate { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("c0"))), distinct: false },
+                Expr::int(0),
+            ],
+        };
+        assert!(e.contains_aggregate());
+    }
+
+    #[test]
+    fn function_arity_covers_all() {
+        for f in ScalarFunc::ALL {
+            let (lo, hi) = f.arity();
+            assert!(lo >= 1 && hi >= lo, "bad arity for {f:?}");
+            assert_eq!(ScalarFunc::parse(f.name()), Some(f));
+            assert_eq!(ScalarFunc::parse(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(ScalarFunc::parse("NOPE"), None);
+    }
+
+    #[test]
+    fn agg_parse_round_trip() {
+        for f in AggFunc::ALL {
+            assert_eq!(AggFunc::parse(f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn between_children_visited() {
+        let e = Expr::Between {
+            negated: true,
+            expr: Box::new(Expr::col("a")),
+            low: Box::new(Expr::int(1)),
+            high: Box::new(Expr::int(2)),
+        };
+        let mut n = 0;
+        e.for_each_child(&mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+}

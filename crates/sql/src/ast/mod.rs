@@ -1,0 +1,13 @@
+//! Abstract syntax tree types for SQL.
+
+pub mod display;
+pub mod expr;
+pub mod stmt;
+
+pub use display::render_script;
+pub use expr::{AggFunc, BinaryOp, ColumnRef, Expr, ScalarFunc, TypeName, UnaryOp};
+pub use stmt::{
+    AlterTable, ColumnConstraint, ColumnDef, CompoundOp, CreateIndex, CreateTable, Delete,
+    IndexedColumn, Insert, Join, JoinKind, OnConflict, OrderingTerm, Query, Select, SelectItem,
+    SetScope, Statement, StatementKind, TableConstraint, TableEngine, Update,
+};

@@ -1,0 +1,686 @@
+//! SQL statement AST: DDL, DML, DQL, maintenance statements and options.
+//!
+//! The statement set is the union of what SQLancer generates for the three
+//! DBMS in the paper (Figure 3): `CREATE TABLE`, `INSERT`, `SELECT`,
+//! `CREATE INDEX`, `ALTER TABLE`, `UPDATE`, `DELETE`, options
+//! (`PRAGMA`/`SET`), `ANALYZE`, `REINDEX`, `VACUUM`, `CREATE VIEW`,
+//! transactions, `DROP INDEX`, `REPAIR TABLE`/`CHECK TABLE`,
+//! `CREATE STATISTICS` and `DISCARD`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::expr::Expr;
+use crate::ast::expr::TypeName;
+use crate::collation::Collation;
+use crate::value::Value;
+
+/// Conflict-resolution behaviour for `INSERT` and `UPDATE`
+/// (`OR IGNORE` / `OR REPLACE` in SQLite, `IGNORE` in MySQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OnConflict {
+    /// Fail the statement with an error (default).
+    #[default]
+    Abort,
+    /// Skip conflicting rows.
+    Ignore,
+    /// Replace conflicting rows.
+    Replace,
+}
+
+/// A column-level constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnConstraint {
+    /// `PRIMARY KEY`
+    PrimaryKey,
+    /// `UNIQUE`
+    Unique,
+    /// `NOT NULL`
+    NotNull,
+    /// `COLLATE <name>`
+    Collate(Collation),
+    /// `DEFAULT <literal>`
+    Default(Value),
+    /// `CHECK (<expr>)`
+    Check(Expr),
+}
+
+/// A table-level constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableConstraint {
+    /// `PRIMARY KEY (c0, c1, ...)`
+    PrimaryKey(Vec<String>),
+    /// `UNIQUE (c0, c1, ...)`
+    Unique(Vec<String>),
+    /// `CHECK (<expr>)`
+    Check(Expr),
+}
+
+/// A column definition in `CREATE TABLE` or `ALTER TABLE ADD COLUMN`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// The column name.
+    pub name: String,
+    /// The declared type; `None` is allowed only by the SQLite-like dialect.
+    pub type_name: Option<TypeName>,
+    /// Column constraints in declaration order.
+    pub constraints: Vec<ColumnConstraint>,
+}
+
+impl ColumnDef {
+    /// Creates a column with no constraints.
+    #[must_use]
+    pub fn new(name: impl Into<String>, type_name: Option<TypeName>) -> Self {
+        ColumnDef { name: name.into(), type_name, constraints: Vec::new() }
+    }
+
+    /// Returns the declared collation, if any.
+    #[must_use]
+    pub fn collation(&self) -> Option<Collation> {
+        self.constraints.iter().find_map(|c| match c {
+            ColumnConstraint::Collate(coll) => Some(*coll),
+            _ => None,
+        })
+    }
+
+    /// Returns `true` if the column carries the given simple constraint kind.
+    #[must_use]
+    pub fn has_primary_key(&self) -> bool {
+        self.constraints.iter().any(|c| matches!(c, ColumnConstraint::PrimaryKey))
+    }
+
+    /// Returns `true` if the column is declared `UNIQUE`.
+    #[must_use]
+    pub fn has_unique(&self) -> bool {
+        self.constraints.iter().any(|c| matches!(c, ColumnConstraint::Unique))
+    }
+
+    /// Returns `true` if the column is declared `NOT NULL`.
+    #[must_use]
+    pub fn has_not_null(&self) -> bool {
+        self.constraints.iter().any(|c| matches!(c, ColumnConstraint::NotNull))
+    }
+}
+
+/// MySQL-style storage engine selection (the paper found 5 bugs specific to
+/// non-default engines, §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TableEngine {
+    /// The default on-disk engine (InnoDB analogue).
+    #[default]
+    Default,
+    /// The in-memory engine (`ENGINE = MEMORY`).
+    Memory,
+    /// The CSV-file-backed engine (`ENGINE = CSV`).
+    Csv,
+}
+
+/// `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level constraints.
+    pub constraints: Vec<TableConstraint>,
+    /// SQLite `WITHOUT ROWID`.
+    pub without_rowid: bool,
+    /// MySQL storage engine.
+    pub engine: TableEngine,
+    /// PostgreSQL `INHERITS (parent)`.
+    pub inherits: Option<String>,
+    /// `IF NOT EXISTS`.
+    pub if_not_exists: bool,
+}
+
+impl CreateTable {
+    /// Creates a plain table definition with the given columns.
+    #[must_use]
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        CreateTable {
+            name: name.into(),
+            columns,
+            constraints: Vec::new(),
+            without_rowid: false,
+            engine: TableEngine::Default,
+            inherits: None,
+            if_not_exists: false,
+        }
+    }
+}
+
+/// A column (or expression) participating in an index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexedColumn {
+    /// The indexed expression (usually a plain column reference).
+    pub expr: Expr,
+    /// An optional collation override.
+    pub collation: Option<Collation>,
+    /// `DESC` ordering.
+    pub descending: bool,
+}
+
+impl IndexedColumn {
+    /// Indexes a plain column in ascending order with the default collation.
+    #[must_use]
+    pub fn column(name: impl Into<String>) -> Self {
+        IndexedColumn { expr: Expr::col(name), collation: None, descending: false }
+    }
+}
+
+/// `CREATE INDEX`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateIndex {
+    /// Index name.
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed columns / expressions.
+    pub columns: Vec<IndexedColumn>,
+    /// `UNIQUE` index.
+    pub unique: bool,
+    /// Partial-index predicate (`WHERE ...`).
+    pub where_clause: Option<Expr>,
+    /// `IF NOT EXISTS`.
+    pub if_not_exists: bool,
+}
+
+/// `ALTER TABLE` variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlterTable {
+    /// `ALTER TABLE t RENAME TO u`
+    RenameTable {
+        /// Current table name.
+        table: String,
+        /// New table name.
+        new_name: String,
+    },
+    /// `ALTER TABLE t RENAME COLUMN a TO b`
+    RenameColumn {
+        /// Table name.
+        table: String,
+        /// Current column name.
+        old: String,
+        /// New column name.
+        new: String,
+    },
+    /// `ALTER TABLE t ADD COLUMN ...`
+    AddColumn {
+        /// Table name.
+        table: String,
+        /// The new column.
+        def: ColumnDef,
+    },
+}
+
+/// `INSERT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Target columns; empty means "all columns in declaration order".
+    pub columns: Vec<String>,
+    /// Rows of value expressions.
+    pub rows: Vec<Vec<Expr>>,
+    /// Conflict behaviour (`OR IGNORE` / `OR REPLACE`).
+    pub on_conflict: OnConflict,
+}
+
+/// `UPDATE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    /// Target table.
+    pub table: String,
+    /// `SET column = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// Optional `WHERE` clause.
+    pub where_clause: Option<Expr>,
+    /// Conflict behaviour (`OR REPLACE`).
+    pub on_conflict: OnConflict,
+}
+
+/// `DELETE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// Optional `WHERE` clause.
+    pub where_clause: Option<Expr>,
+}
+
+/// A projected item in a `SELECT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An `ORDER BY` term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderingTerm {
+    /// The ordering expression.
+    pub expr: Expr,
+    /// `DESC`.
+    pub descending: bool,
+    /// Optional collation override.
+    pub collation: Option<Collation>,
+}
+
+/// A join clause attached to a `SELECT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    /// The join kind.
+    pub kind: JoinKind,
+    /// The joined table.
+    pub table: String,
+    /// The `ON` condition (absent for `CROSS JOIN`).
+    pub on: Option<Expr>,
+}
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// `CROSS JOIN` / comma join.
+    Cross,
+    /// `INNER JOIN ... ON ...`
+    Inner,
+    /// `LEFT JOIN ... ON ...`
+    Left,
+}
+
+/// A single `SELECT` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projected items.
+    pub items: Vec<SelectItem>,
+    /// Base tables (comma-separated `FROM` list).
+    pub from: Vec<String>,
+    /// Explicit join clauses applied after the base tables.
+    pub joins: Vec<Join>,
+    /// `WHERE` clause.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` clause.
+    pub having: Option<Expr>,
+    /// `ORDER BY` terms.
+    pub order_by: Vec<OrderingTerm>,
+    /// `LIMIT`.
+    pub limit: Option<u64>,
+    /// `OFFSET`.
+    pub offset: Option<u64>,
+}
+
+impl Select {
+    /// A `SELECT` over the given tables projecting `*`.
+    #[must_use]
+    pub fn star(from: Vec<String>) -> Self {
+        Select {
+            distinct: false,
+            items: vec![SelectItem::Wildcard],
+            from,
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// A `SELECT` with no `FROM` clause projecting the given expressions
+    /// (used for constant rows, e.g. the left side of the containment
+    /// `INTERSECT`).
+    #[must_use]
+    pub fn constants(exprs: Vec<Expr>) -> Self {
+        Select {
+            distinct: false,
+            items: exprs.into_iter().map(|expr| SelectItem::Expr { expr, alias: None }).collect(),
+            from: Vec::new(),
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
+    }
+}
+
+/// Compound set operators between two `SELECT` bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompoundOp {
+    /// `UNION` (distinct).
+    Union,
+    /// `UNION ALL`.
+    UnionAll,
+    /// `INTERSECT` — used by the containment oracle.
+    Intersect,
+    /// `EXCEPT`.
+    Except,
+}
+
+/// A query: either a simple `SELECT` or a compound of two queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// A plain `SELECT`.
+    Select(Select),
+    /// `left <op> right`.
+    Compound {
+        /// Left operand.
+        left: Box<Query>,
+        /// The set operator.
+        op: CompoundOp,
+        /// Right operand.
+        right: Box<Query>,
+    },
+}
+
+impl Query {
+    /// Wraps a `SELECT` body.
+    #[must_use]
+    pub fn select(select: Select) -> Query {
+        Query::Select(select)
+    }
+
+    /// Builds `left INTERSECT right`.
+    #[must_use]
+    pub fn intersect(left: Query, right: Query) -> Query {
+        Query::Compound { left: Box::new(left), op: CompoundOp::Intersect, right: Box::new(right) }
+    }
+}
+
+/// Scope of a `SET` option statement (MySQL / PostgreSQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SetScope {
+    /// `SET SESSION` (default).
+    #[default]
+    Session,
+    /// `SET GLOBAL`.
+    Global,
+}
+
+/// A complete SQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `CREATE TABLE`.
+    CreateTable(CreateTable),
+    /// `CREATE INDEX`.
+    CreateIndex(CreateIndex),
+    /// `CREATE VIEW name AS SELECT ...`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining query.
+        query: Select,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// `IF EXISTS`.
+        if_exists: bool,
+    },
+    /// `DROP INDEX`.
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// `IF EXISTS`.
+        if_exists: bool,
+    },
+    /// `DROP VIEW`.
+    DropView {
+        /// View name.
+        name: String,
+        /// `IF EXISTS`.
+        if_exists: bool,
+    },
+    /// `ALTER TABLE`.
+    AlterTable(AlterTable),
+    /// `INSERT`.
+    Insert(Insert),
+    /// `UPDATE`.
+    Update(Update),
+    /// `DELETE`.
+    Delete(Delete),
+    /// A query (`SELECT`, possibly compound).
+    Select(Query),
+    /// `VACUUM` (SQLite / PostgreSQL).
+    Vacuum {
+        /// `VACUUM FULL` (PostgreSQL).
+        full: bool,
+    },
+    /// `REINDEX` (SQLite / PostgreSQL).
+    Reindex {
+        /// Optional target table or index.
+        target: Option<String>,
+    },
+    /// `ANALYZE` (all three DBMS).
+    Analyze {
+        /// Optional target table.
+        target: Option<String>,
+    },
+    /// MySQL `CHECK TABLE`.
+    CheckTable {
+        /// Target table.
+        table: String,
+        /// `FOR UPGRADE`.
+        for_upgrade: bool,
+    },
+    /// MySQL `REPAIR TABLE`.
+    RepairTable {
+        /// Target table.
+        table: String,
+    },
+    /// SQLite `PRAGMA name [= value]`.
+    Pragma {
+        /// Pragma name.
+        name: String,
+        /// Optional value.
+        value: Option<Value>,
+    },
+    /// MySQL / PostgreSQL `SET [GLOBAL|SESSION] name = value`.
+    Set {
+        /// The scope.
+        scope: SetScope,
+        /// Option name.
+        name: String,
+        /// Option value.
+        value: Value,
+    },
+    /// PostgreSQL `CREATE STATISTICS`.
+    CreateStatistics {
+        /// Statistics object name.
+        name: String,
+        /// Covered columns.
+        columns: Vec<String>,
+        /// Source table.
+        table: String,
+    },
+    /// PostgreSQL `DISCARD ALL`.
+    Discard,
+    /// `BEGIN`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+}
+
+/// Statement categories matching Figure 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StatementKind {
+    /// `CREATE TABLE`
+    CreateTable,
+    /// `INSERT`
+    Insert,
+    /// `SELECT`
+    Select,
+    /// `CREATE INDEX`
+    CreateIndex,
+    /// `ALTER TABLE`
+    AlterTable,
+    /// `UPDATE`
+    Update,
+    /// `DELETE`
+    Delete,
+    /// DBMS option (`PRAGMA` / `SET`)
+    Option,
+    /// `ANALYZE`
+    Analyze,
+    /// `REINDEX`
+    Reindex,
+    /// `VACUUM`
+    Vacuum,
+    /// `CREATE VIEW`
+    CreateView,
+    /// Transaction control
+    Transaction,
+    /// `DROP INDEX`
+    DropIndex,
+    /// `DROP TABLE` / `DROP VIEW`
+    Drop,
+    /// MySQL `REPAIR TABLE` / `CHECK TABLE`
+    RepairCheckTable,
+    /// PostgreSQL `CREATE STATISTICS`
+    CreateStats,
+    /// PostgreSQL `DISCARD`
+    Discard,
+}
+
+impl StatementKind {
+    /// A human-readable label matching the axis labels of Figure 3.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StatementKind::CreateTable => "CREATE TABLE",
+            StatementKind::Insert => "INSERT",
+            StatementKind::Select => "SELECT",
+            StatementKind::CreateIndex => "CREATE INDEX",
+            StatementKind::AlterTable => "ALTER TABLE",
+            StatementKind::Update => "UPDATE",
+            StatementKind::Delete => "DELETE",
+            StatementKind::Option => "OPTION",
+            StatementKind::Analyze => "ANALYZE",
+            StatementKind::Reindex => "REINDEX",
+            StatementKind::Vacuum => "VACUUM",
+            StatementKind::CreateView => "CREATE VIEW",
+            StatementKind::Transaction => "TRANSACTION",
+            StatementKind::DropIndex => "DROP INDEX",
+            StatementKind::Drop => "DROP",
+            StatementKind::RepairCheckTable => "REPAIR/CHECK TABLE",
+            StatementKind::CreateStats => "CREATE STATS",
+            StatementKind::Discard => "DISCARD",
+        }
+    }
+}
+
+impl Statement {
+    /// Classifies the statement for Figure 3 of the paper.
+    #[must_use]
+    pub fn kind(&self) -> StatementKind {
+        match self {
+            Statement::CreateTable(_) => StatementKind::CreateTable,
+            Statement::CreateIndex(_) => StatementKind::CreateIndex,
+            Statement::CreateView { .. } => StatementKind::CreateView,
+            Statement::DropTable { .. } | Statement::DropView { .. } => StatementKind::Drop,
+            Statement::DropIndex { .. } => StatementKind::DropIndex,
+            Statement::AlterTable(_) => StatementKind::AlterTable,
+            Statement::Insert(_) => StatementKind::Insert,
+            Statement::Update(_) => StatementKind::Update,
+            Statement::Delete(_) => StatementKind::Delete,
+            Statement::Select(_) => StatementKind::Select,
+            Statement::Vacuum { .. } => StatementKind::Vacuum,
+            Statement::Reindex { .. } => StatementKind::Reindex,
+            Statement::Analyze { .. } => StatementKind::Analyze,
+            Statement::CheckTable { .. } | Statement::RepairTable { .. } => {
+                StatementKind::RepairCheckTable
+            }
+            Statement::Pragma { .. } | Statement::Set { .. } => StatementKind::Option,
+            Statement::CreateStatistics { .. } => StatementKind::CreateStats,
+            Statement::Discard => StatementKind::Discard,
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                StatementKind::Transaction
+            }
+        }
+    }
+
+    /// Returns `true` for statements that only read state (queries).
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Statement::Select(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_kinds_cover_figure3_categories() {
+        let ct = Statement::CreateTable(CreateTable::new("t0", vec![ColumnDef::new("c0", None)]));
+        assert_eq!(ct.kind(), StatementKind::CreateTable);
+        assert_eq!(ct.kind().label(), "CREATE TABLE");
+        let set = Statement::Set {
+            scope: SetScope::Global,
+            name: "key_cache_division_limit".into(),
+            value: Value::Integer(100),
+        };
+        assert_eq!(set.kind(), StatementKind::Option);
+        let pragma = Statement::Pragma { name: "case_sensitive_like".into(), value: Some(Value::Integer(0)) };
+        assert_eq!(pragma.kind(), StatementKind::Option);
+        assert_eq!(Statement::Discard.kind().label(), "DISCARD");
+        assert_eq!(
+            Statement::CheckTable { table: "t0".into(), for_upgrade: true }.kind(),
+            StatementKind::RepairCheckTable
+        );
+    }
+
+    #[test]
+    fn column_def_constraint_queries() {
+        let mut def = ColumnDef::new("c0", Some(TypeName::Text));
+        assert!(!def.has_primary_key());
+        def.constraints.push(ColumnConstraint::PrimaryKey);
+        def.constraints.push(ColumnConstraint::Collate(Collation::NoCase));
+        assert!(def.has_primary_key());
+        assert_eq!(def.collation(), Some(Collation::NoCase));
+        assert!(!def.has_unique());
+        assert!(!def.has_not_null());
+    }
+
+    #[test]
+    fn select_constructors() {
+        let s = Select::star(vec!["t0".into(), "t1".into()]);
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(s.items[0], SelectItem::Wildcard));
+        let c = Select::constants(vec![Expr::int(3), Expr::null()]);
+        assert!(c.from.is_empty());
+        assert_eq!(c.items.len(), 2);
+    }
+
+    #[test]
+    fn query_intersect_builder() {
+        let q = Query::intersect(
+            Query::select(Select::constants(vec![Expr::int(1)])),
+            Query::select(Select::star(vec!["t0".into()])),
+        );
+        assert!(matches!(q, Query::Compound { op: CompoundOp::Intersect, .. }));
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(Statement::Select(Query::select(Select::star(vec!["t".into()]))).is_read_only());
+        assert!(!Statement::Vacuum { full: false }.is_read_only());
+    }
+}

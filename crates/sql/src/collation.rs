@@ -1,0 +1,128 @@
+//! Text collating sequences.
+//!
+//! The paper's SQLite case study leans heavily on non-default collations
+//! (`NOCASE`, `RTRIM`) — e.g. Listing 4 (a `COLLATE NOCASE` index on a
+//! `WITHOUT ROWID` table) and Listing 5 (an 11-year-old `RTRIM` bug).  The
+//! engine, the index layer and the PQS interpreter all share this type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A text collating sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Collation {
+    /// Byte-wise comparison (SQLite `BINARY`).
+    #[default]
+    Binary,
+    /// ASCII case-insensitive comparison (SQLite `NOCASE`).
+    NoCase,
+    /// Like `Binary` but trailing spaces are ignored (SQLite `RTRIM`).
+    Rtrim,
+}
+
+impl Collation {
+    /// All collations, for random selection by generators.
+    pub const ALL: [Collation; 3] = [Collation::Binary, Collation::NoCase, Collation::Rtrim];
+
+    /// Compares two strings under this collation.
+    #[must_use]
+    pub fn compare(self, a: &str, b: &str) -> Ordering {
+        match self {
+            Collation::Binary => a.as_bytes().cmp(b.as_bytes()),
+            Collation::NoCase => {
+                let la = a.to_ascii_lowercase();
+                let lb = b.to_ascii_lowercase();
+                la.as_bytes().cmp(lb.as_bytes())
+            }
+            Collation::Rtrim => {
+                let ta = a.trim_end_matches(' ');
+                let tb = b.trim_end_matches(' ');
+                ta.as_bytes().cmp(tb.as_bytes())
+            }
+        }
+    }
+
+    /// Returns `true` if the two strings are equal under this collation.
+    #[must_use]
+    pub fn equal(self, a: &str, b: &str) -> bool {
+        self.compare(a, b) == Ordering::Equal
+    }
+
+    /// Canonical key for a string under this collation: two strings are equal
+    /// under the collation iff their keys are byte-equal.  Used for hash-based
+    /// uniqueness checks in indexes.
+    #[must_use]
+    pub fn key(self, s: &str) -> String {
+        match self {
+            Collation::Binary => s.to_owned(),
+            Collation::NoCase => s.to_ascii_lowercase(),
+            Collation::Rtrim => s.trim_end_matches(' ').to_owned(),
+        }
+    }
+
+    /// Parses a collation name (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Collation> {
+        match name.to_ascii_uppercase().as_str() {
+            "BINARY" => Some(Collation::Binary),
+            "NOCASE" => Some(Collation::NoCase),
+            "RTRIM" => Some(Collation::Rtrim),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Collation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Collation::Binary => "BINARY",
+            Collation::NoCase => "NOCASE",
+            Collation::Rtrim => "RTRIM",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_is_byte_ordering() {
+        assert_eq!(Collation::Binary.compare("A", "a"), Ordering::Less);
+        assert!(!Collation::Binary.equal("A", "a"));
+    }
+
+    #[test]
+    fn nocase_ignores_ascii_case() {
+        assert!(Collation::NoCase.equal("Abc", "aBC"));
+        assert_eq!(Collation::NoCase.compare("a", "B"), Ordering::Less);
+    }
+
+    #[test]
+    fn rtrim_ignores_trailing_spaces_only() {
+        assert!(Collation::Rtrim.equal("x  ", "x"));
+        assert!(!Collation::Rtrim.equal("  x", "x"));
+        assert!(Collation::Rtrim.equal("", "   "));
+    }
+
+    #[test]
+    fn keys_match_equality() {
+        for c in Collation::ALL {
+            for (a, b) in [("a", "A"), ("x ", "x"), ("q", "q"), ("a", "b")] {
+                assert_eq!(c.equal(a, b), c.key(a) == c.key(b), "collation {c} on {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for c in Collation::ALL {
+            assert_eq!(Collation::parse(&c.to_string()), Some(c));
+            assert_eq!(Collation::parse(&c.to_string().to_lowercase()), Some(c));
+        }
+        assert_eq!(Collation::parse("bogus"), None);
+    }
+}

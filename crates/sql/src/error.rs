@@ -1,0 +1,53 @@
+//! Error types for lexing and parsing.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected, if known.
+    pub offset: Option<usize>,
+}
+
+impl ParseError {
+    /// Creates a new error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into(), offset: None }
+    }
+
+    /// Creates a new error with a byte offset.
+    #[must_use]
+    pub fn at(message: impl Into<String>, offset: usize) -> Self {
+        ParseError { message: message.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "parse error at byte {o}: {}", self.message),
+            None => write!(f, "parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing operations.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_when_present() {
+        let e = ParseError::at("unexpected token", 7);
+        assert!(e.to_string().contains("byte 7"));
+        let e = ParseError::new("oops");
+        assert!(!e.to_string().contains("byte"));
+    }
+}

@@ -1,0 +1,483 @@
+//! A hand-written SQL tokenizer.
+//!
+//! The lexer is dialect-agnostic: it produces a superset token stream (e.g.
+//! it accepts MySQL's `<=>` operator and SQLite blob literals `x'..'`); the
+//! parser and the engine decide which constructs a given dialect accepts.
+
+use crate::error::{ParseError, ParseResult};
+
+/// A single token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare identifier or keyword (keywords are not distinguished here).
+    Ident(String),
+    /// A double-quoted identifier/string (SQLite treats these ambiguously;
+    /// see Listing 8 of the paper).
+    QuotedIdent(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A real literal.
+    Real(f64),
+    /// A single-quoted string literal.
+    String(String),
+    /// A blob literal `x'AB01'`.
+    Blob(Vec<u8>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<=>` (MySQL null-safe equality)
+    NullSafeEq,
+    /// `||`
+    Concat,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `<<`
+    ShiftLeft,
+    /// `>>`
+    ShiftRight,
+    /// `~`
+    Tilde,
+}
+
+impl Token {
+    /// Returns the identifier text if this token is a (possibly quoted)
+    /// identifier.
+    #[must_use]
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) | Token::QuotedIdent(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this token is the given keyword (case-insensitive).
+    #[must_use]
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a SQL string.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings, malformed blob literals
+/// or unexpected characters.
+pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment.
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::at("unterminated block comment", start));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            b'.' if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            b'~' => {
+                tokens.push(Token::Tilde);
+                i += 1;
+            }
+            b'&' => {
+                tokens.push(Token::BitAnd);
+                i += 1;
+            }
+            b'|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    tokens.push(Token::Concat);
+                    i += 2;
+                } else {
+                    tokens.push(Token::BitOr);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token::Eq);
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(ParseError::at("unexpected '!'", i));
+                }
+            }
+            b'<' => {
+                if i + 2 < bytes.len() && bytes[i + 1] == b'=' && bytes[i + 2] == b'>' {
+                    tokens.push(Token::NullSafeEq);
+                    i += 3;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
+                    tokens.push(Token::ShiftLeft);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::ShiftRight);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_single_quoted(input, i)?;
+                tokens.push(Token::String(s));
+                i = next;
+            }
+            b'"' => {
+                let (s, next) = lex_double_quoted(input, i)?;
+                tokens.push(Token::QuotedIdent(s));
+                i = next;
+            }
+            b'x' | b'X'
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\'' =>
+            {
+                let (s, next) = lex_single_quoted(input, i + 1)?;
+                let mut blob = Vec::new();
+                let hex = s.as_bytes();
+                if hex.len() % 2 != 0 {
+                    return Err(ParseError::at("odd number of hex digits in blob literal", i));
+                }
+                for pair in hex.chunks(2) {
+                    let hi = hex_digit(pair[0])
+                        .ok_or_else(|| ParseError::at("invalid hex digit in blob literal", i))?;
+                    let lo = hex_digit(pair[1])
+                        .ok_or_else(|| ParseError::at("invalid hex digit in blob literal", i))?;
+                    blob.push(hi * 16 + lo);
+                }
+                tokens.push(Token::Blob(blob));
+                i = next;
+            }
+            c if c.is_ascii_digit() || c == b'.' => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(ParseError::at(format!("unexpected character {:?}", other as char), i));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn hex_digit(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn lex_single_quoted(input: &str, start: usize) -> ParseResult<(String, usize)> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[start], b'\'');
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(ParseError::at("unterminated string literal", start));
+        }
+        if bytes[i] == b'\'' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Strings are treated as raw bytes of valid UTF-8 input.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+}
+
+fn lex_double_quoted(input: &str, start: usize) -> ParseResult<(String, usize)> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[start], b'"');
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(ParseError::at("unterminated quoted identifier", start));
+        }
+        if bytes[i] == b'"' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                out.push('"');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    if first_byte < 0x80 {
+        1
+    } else if first_byte >> 5 == 0b110 {
+        2
+    } else if first_byte >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> ParseResult<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    let mut is_real = false;
+    // Hexadecimal integer literal 0x...
+    if bytes[i] == b'0'
+        && i + 1 < bytes.len()
+        && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+        && i + 2 < bytes.len()
+        && bytes[i + 2].is_ascii_hexdigit()
+    {
+        i += 2;
+        let hstart = i;
+        while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+            i += 1;
+        }
+        let v = i64::from_str_radix(&input[hstart..i], 16)
+            .map_err(|_| ParseError::at("hex literal out of range", start))?;
+        return Ok((Token::Integer(v), i));
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        is_real = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_real = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    if is_real {
+        let v: f64 =
+            text.parse().map_err(|_| ParseError::at("invalid real literal", start))?;
+        Ok((Token::Real(v), i))
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Ok((Token::Integer(v), i)),
+            // Integer literals that overflow i64 become reals, as in SQLite.
+            Err(_) => {
+                let v: f64 =
+                    text.parse().map_err(|_| ParseError::at("invalid numeric literal", start))?;
+                Ok((Token::Real(v), i))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_statement() {
+        let toks = tokenize("SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1;").unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Integer(1)));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn tokenizes_strings_and_escapes() {
+        let toks = tokenize("'a''b' \"C3\"").unwrap();
+        assert_eq!(toks[0], Token::String("a'b".into()));
+        assert_eq!(toks[1], Token::QuotedIdent("C3".into()));
+    }
+
+    #[test]
+    fn tokenizes_blob_literals() {
+        let toks = tokenize("x'AB01'").unwrap();
+        assert_eq!(toks[0], Token::Blob(vec![0xAB, 0x01]));
+        assert!(tokenize("x'AB0'").is_err());
+        assert!(tokenize("x'ZZ'").is_err());
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        let toks = tokenize("42 -3.5 1e3 0x1F 2851427734582196970").unwrap();
+        assert_eq!(toks[0], Token::Integer(42));
+        assert_eq!(toks[1], Token::Minus);
+        assert_eq!(toks[2], Token::Real(3.5));
+        assert_eq!(toks[3], Token::Real(1000.0));
+        assert_eq!(toks[4], Token::Integer(31));
+        assert_eq!(toks[5], Token::Integer(2851427734582196970));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let toks = tokenize("<=> <= >= != <> || << >> = ==").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::NullSafeEq,
+                Token::Le,
+                Token::Ge,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Concat,
+                Token::ShiftLeft,
+                Token::ShiftRight,
+                Token::Eq,
+                Token::Eq,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = tokenize("SELECT 1; -- trailing comment\n/* block */ SELECT 2;").unwrap();
+        let idents = toks.iter().filter(|t| matches!(t, Token::Ident(_))).count();
+        assert_eq!(idents, 2);
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("'unterminated").is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # lancer-sql
+//!
+//! SQL front-end shared by the whole PQS reproduction stack: the value model
+//! ([`Value`], [`TriBool`]), collations ([`Collation`]), the abstract syntax
+//! tree ([`ast`]), a tokenizer ([`lexer`]) and a recursive-descent parser
+//! ([`parser`]), plus SQL rendering for every AST node.
+//!
+//! The crate is deliberately free of any execution semantics: both the DBMS
+//! engine under test (`lancer-engine`) and SQLancer's ground-truth AST
+//! interpreter (`lancer-core`) consume these types and implement their own,
+//! independent evaluation — which is exactly what gives Pivoted Query
+//! Synthesis its oracle.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod collation;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Expr, Query, Select, Statement, StatementKind};
+pub use collation::Collation;
+pub use error::{ParseError, ParseResult};
+pub use parser::{parse_expression, parse_script, parse_statement};
+pub use value::{StorageClass, TriBool, Value};

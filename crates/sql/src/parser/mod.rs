@@ -1,0 +1,167 @@
+//! A recursive-descent SQL parser.
+//!
+//! The parser accepts the union of the three dialect grammars; dialect
+//! restrictions (e.g. "PostgreSQL has no `IS NOT <scalar>`") are enforced by
+//! the engine, not the parser, mirroring the way SQLancer constructs ASTs
+//! first and lets the DBMS reject them.
+
+mod expr;
+mod stmt;
+
+use crate::ast::stmt::Statement;
+use crate::ast::Expr;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::{tokenize, Token};
+
+/// The parser state over a token stream.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over a SQL string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if tokenization fails.
+    pub fn new(input: &str) -> ParseResult<Self> {
+        Ok(Parser { tokens: tokenize(input)?, pos: 0 })
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    pub(crate) fn peek_nth(&self, n: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + n)
+    }
+
+    pub(crate) fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    pub(crate) fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, token: &Token) -> ParseResult<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected {token:?}, found {:?}", self.peek())))
+        }
+    }
+
+    pub(crate) fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.is_keyword(kw))
+    }
+
+    pub(crate) fn peek_keyword_nth(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_nth(n), Some(t) if t.is_keyword(kw))
+    }
+
+    pub(crate) fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_keyword(&mut self, kw: &str) -> ParseResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    pub(crate) fn expect_ident(&mut self) -> ParseResult<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => Ok(s.clone()),
+            other => Err(ParseError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Returns `true` if all tokens have been consumed.
+    #[must_use]
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+/// Parses a single SQL statement (a trailing semicolon is allowed).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a single valid statement.
+pub fn parse_statement(input: &str) -> ParseResult<Statement> {
+    let mut p = Parser::new(input)?;
+    let stmt = p.parse_statement()?;
+    p.eat(&Token::Semicolon);
+    if !p.is_at_end() {
+        return Err(ParseError::new("trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parses a semicolon-separated SQL script into statements.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if any statement fails to parse.
+pub fn parse_script(input: &str) -> ParseResult<Vec<Statement>> {
+    let mut p = Parser::new(input)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semicolon) {}
+        if p.is_at_end() {
+            break;
+        }
+        out.push(p.parse_statement()?);
+    }
+    Ok(out)
+}
+
+/// Parses a single SQL expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a single valid expression.
+pub fn parse_expression(input: &str) -> ParseResult<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.parse_expr()?;
+    if !p.is_at_end() {
+        return Err(ParseError::new("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_parsing_handles_empty_and_multiple() {
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script(";;;").unwrap().is_empty());
+        let stmts = parse_script("CREATE TABLE t0(c0); INSERT INTO t0(c0) VALUES (1);").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn single_statement_rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT 1 SELECT 2").is_err());
+        assert!(parse_statement("SELECT 1;").is_ok());
+    }
+}

@@ -1,0 +1,580 @@
+//! The SQL value model shared by the engine, the storage layer and the PQS
+//! AST interpreter.
+//!
+//! The model follows SQLite's *storage class* design: a value is one of
+//! `NULL`, `INTEGER`, `REAL`, `TEXT`, `BLOB` or `BOOLEAN`.  The `BOOLEAN`
+//! storage class only exists in the PostgreSQL-like dialect; the SQLite-like
+//! and MySQL-like dialects represent booleans as the integers `0` and `1`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::collation::Collation;
+
+/// A single SQL scalar value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// The SQL `NULL` marker.
+    Null,
+    /// A 64-bit signed integer.
+    Integer(i64),
+    /// A double-precision floating point number.
+    Real(f64),
+    /// A text string.
+    Text(String),
+    /// A binary blob.
+    Blob(Vec<u8>),
+    /// A boolean (PostgreSQL-like dialect only).
+    Boolean(bool),
+}
+
+/// The storage class of a [`Value`], mirroring SQLite's `typeof()` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageClass {
+    /// `NULL`.
+    Null,
+    /// `INTEGER`.
+    Integer,
+    /// `REAL`.
+    Real,
+    /// `TEXT`.
+    Text,
+    /// `BLOB`.
+    Blob,
+    /// `BOOLEAN` (PostgreSQL-like dialect only).
+    Boolean,
+}
+
+impl fmt::Display for StorageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StorageClass::Null => "null",
+            StorageClass::Integer => "integer",
+            StorageClass::Real => "real",
+            StorageClass::Text => "text",
+            StorageClass::Blob => "blob",
+            StorageClass::Boolean => "boolean",
+        };
+        f.write_str(s)
+    }
+}
+
+/// SQL three-valued logic: `TRUE`, `FALSE`, or `NULL` (unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TriBool {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown (`NULL` in a boolean context).
+    Unknown,
+}
+
+impl TriBool {
+    /// Three-valued logical AND.
+    #[must_use]
+    pub fn and(self, other: TriBool) -> TriBool {
+        match (self, other) {
+            (TriBool::False, _) | (_, TriBool::False) => TriBool::False,
+            (TriBool::True, TriBool::True) => TriBool::True,
+            _ => TriBool::Unknown,
+        }
+    }
+
+    /// Three-valued logical OR.
+    #[must_use]
+    pub fn or(self, other: TriBool) -> TriBool {
+        match (self, other) {
+            (TriBool::True, _) | (_, TriBool::True) => TriBool::True,
+            (TriBool::False, TriBool::False) => TriBool::False,
+            _ => TriBool::Unknown,
+        }
+    }
+
+    /// Three-valued logical NOT.
+    #[must_use]
+    pub fn not(self) -> TriBool {
+        match self {
+            TriBool::True => TriBool::False,
+            TriBool::False => TriBool::True,
+            TriBool::Unknown => TriBool::Unknown,
+        }
+    }
+
+    /// Returns `true` only for [`TriBool::True`].
+    #[must_use]
+    pub fn is_true(self) -> bool {
+        self == TriBool::True
+    }
+
+    /// Converts the tri-state back into a [`Value`] using integers for
+    /// true/false (SQLite/MySQL convention).
+    #[must_use]
+    pub fn to_int_value(self) -> Value {
+        match self {
+            TriBool::True => Value::Integer(1),
+            TriBool::False => Value::Integer(0),
+            TriBool::Unknown => Value::Null,
+        }
+    }
+
+    /// Converts the tri-state back into a [`Value`] using booleans
+    /// (PostgreSQL convention).
+    #[must_use]
+    pub fn to_bool_value(self) -> Value {
+        match self {
+            TriBool::True => Value::Boolean(true),
+            TriBool::False => Value::Boolean(false),
+            TriBool::Unknown => Value::Null,
+        }
+    }
+
+    /// Builds a tri-state from an optional boolean.
+    #[must_use]
+    pub fn from_option(b: Option<bool>) -> TriBool {
+        match b {
+            Some(true) => TriBool::True,
+            Some(false) => TriBool::False,
+            None => TriBool::Unknown,
+        }
+    }
+}
+
+impl From<bool> for TriBool {
+    fn from(b: bool) -> Self {
+        if b {
+            TriBool::True
+        } else {
+            TriBool::False
+        }
+    }
+}
+
+impl Value {
+    /// Returns the storage class of this value.
+    #[must_use]
+    pub fn storage_class(&self) -> StorageClass {
+        match self {
+            Value::Null => StorageClass::Null,
+            Value::Integer(_) => StorageClass::Integer,
+            Value::Real(_) => StorageClass::Real,
+            Value::Text(_) => StorageClass::Text,
+            Value::Blob(_) => StorageClass::Blob,
+            Value::Boolean(_) => StorageClass::Boolean,
+        }
+    }
+
+    /// Returns `true` if the value is `NULL`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns `true` if the value is numeric (integer, real or boolean).
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Integer(_) | Value::Real(_) | Value::Boolean(_))
+    }
+
+    /// Interprets the value in a boolean context, the way SQLite does:
+    /// numbers are true iff non-zero, text is converted via a numeric prefix
+    /// parse, `NULL` and blobs are unknown/false-ish.
+    ///
+    /// This is the *lenient* conversion used by dialects with implicit
+    /// conversions.  The strict (PostgreSQL-like) dialect refuses most of
+    /// these conversions at a higher level.
+    #[must_use]
+    pub fn to_tribool_lenient(&self) -> TriBool {
+        match self {
+            Value::Null => TriBool::Unknown,
+            Value::Boolean(b) => (*b).into(),
+            Value::Integer(i) => (*i != 0).into(),
+            Value::Real(r) => (*r != 0.0).into(),
+            Value::Text(t) => {
+                let n = text_numeric_prefix(t);
+                (n != 0.0).into()
+            }
+            Value::Blob(_) => TriBool::False,
+        }
+    }
+
+    /// Numeric interpretation of the value (SQLite `CAST(x AS REAL)`-style).
+    #[must_use]
+    pub fn to_real_lenient(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Integer(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            Value::Boolean(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Text(t) => Some(text_numeric_prefix(t)),
+            Value::Blob(_) => Some(0.0),
+        }
+    }
+
+    /// Integer interpretation of the value (SQLite `CAST(x AS INTEGER)`-style).
+    #[must_use]
+    pub fn to_integer_lenient(&self) -> Option<i64> {
+        match self {
+            Value::Null => None,
+            Value::Integer(i) => Some(*i),
+            Value::Real(r) => Some(real_to_int_saturating(*r)),
+            Value::Boolean(b) => Some(i64::from(*b)),
+            Value::Text(t) => Some(text_integer_prefix(t)),
+            Value::Blob(_) => Some(0),
+        }
+    }
+
+    /// Text interpretation of the value (SQLite `CAST(x AS TEXT)`-style).
+    #[must_use]
+    pub fn to_text_lenient(&self) -> Option<String> {
+        match self {
+            Value::Null => None,
+            Value::Integer(i) => Some(i.to_string()),
+            Value::Real(r) => Some(format_real(*r)),
+            Value::Boolean(b) => Some(if *b { "1".to_owned() } else { "0".to_owned() }),
+            Value::Text(t) => Some(t.clone()),
+            Value::Blob(b) => Some(String::from_utf8_lossy(b).into_owned()),
+        }
+    }
+
+    /// Structural equality used for result-set containment checks: `NULL`
+    /// equals `NULL`, integers and reals compare numerically, text compares
+    /// byte-wise, booleans compare against 0/1 integers.
+    #[must_use]
+    pub fn same_as(&self, other: &Value) -> bool {
+        self.total_cmp(other, Collation::Binary) == Ordering::Equal
+    }
+
+    /// A total ordering over values, used for index keys, `ORDER BY`, and
+    /// `DISTINCT`.  Mirrors SQLite's cross-class ordering:
+    /// `NULL < (INTEGER|REAL|BOOLEAN) < TEXT < BLOB`.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Value, collation: Collation) -> Ordering {
+        use Value::{Blob, Boolean, Integer, Null, Real, Text};
+        fn class_rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Integer(_) | Real(_) | Boolean(_) => 1,
+                Text(_) => 2,
+                Blob(_) => 3,
+            }
+        }
+        let (ra, rb) = (class_rank(self), class_rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Integer(a), Integer(b)) => a.cmp(b),
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Blob(a), Blob(b)) => a.cmp(b),
+            (Text(a), Text(b)) => collation.compare(a, b),
+            // Mixed numeric comparisons go through f64.
+            _ => {
+                let a = self.to_real_lenient().unwrap_or(0.0);
+                let b = other.to_real_lenient().unwrap_or(0.0);
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// Renders the value as a SQL literal that parses back to the same value.
+    #[must_use]
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_owned(),
+            // `i64::MIN` cannot be written as a plain literal (its absolute
+            // value overflows before the unary minus applies), so it is
+            // rendered as an expression that parses back to the same value.
+            Value::Integer(i64::MIN) => "(-9223372036854775807 - 1)".to_owned(),
+            Value::Integer(i) => i.to_string(),
+            Value::Real(r) => {
+                if r.is_nan() {
+                    "(0.0 / 0.0)".to_owned()
+                } else if r.is_infinite() {
+                    if *r > 0.0 {
+                        "(1e308 * 10)".to_owned()
+                    } else {
+                        "(-1e308 * 10)".to_owned()
+                    }
+                } else {
+                    format_real(*r)
+                }
+            }
+            Value::Text(t) => format!("'{}'", t.replace('\'', "''")),
+            Value::Blob(b) => {
+                let hex: String = b.iter().map(|byte| format!("{byte:02X}")).collect();
+                format!("x'{hex}'")
+            }
+            Value::Boolean(b) => if *b { "TRUE" } else { "FALSE" }.to_owned(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_as(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Integer(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Real(r) => {
+                // Hash reals through their numeric comparison key so that
+                // `1 == 1.0` also hash-equal.
+                if r.fract() == 0.0 && r.is_finite() && r.abs() < 9.2e18 {
+                    1u8.hash(state);
+                    (*r as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    r.to_bits().hash(state);
+                }
+            }
+            Value::Text(t) => {
+                3u8.hash(state);
+                t.hash(state);
+            }
+            Value::Blob(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+            Value::Boolean(b) => {
+                1u8.hash(state);
+                i64::from(*b).hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Real(r) => f.write_str(&format_real(*r)),
+            Value::Text(t) => f.write_str(t),
+            Value::Blob(b) => {
+                let hex: String = b.iter().map(|byte| format!("{byte:02X}")).collect();
+                write!(f, "x'{hex}'")
+            }
+            Value::Boolean(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+/// Formats a real value the way SQLite prints it (always with a decimal point
+/// or exponent so the text round-trips back to a REAL).
+#[must_use]
+pub fn format_real(r: f64) -> String {
+    if r.is_nan() {
+        return "NaN".to_owned();
+    }
+    if r.is_infinite() {
+        return if r > 0.0 { "Inf".to_owned() } else { "-Inf".to_owned() };
+    }
+    if r == r.trunc() && r.abs() < 1e15 {
+        format!("{r:.1}")
+    } else {
+        format!("{r}")
+    }
+}
+
+/// Parses the longest numeric prefix of a string as a float (SQLite text →
+/// numeric conversion).  Returns `0.0` if the string has no numeric prefix.
+#[must_use]
+pub fn text_numeric_prefix(s: &str) -> f64 {
+    let t = s.trim_start();
+    let bytes = t.as_bytes();
+    let mut end = 0usize;
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    let mut i = 0usize;
+    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+        i += 1;
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_digit() {
+            seen_digit = true;
+            i += 1;
+            end = i;
+        } else if c == b'.' && !seen_dot && !seen_exp {
+            seen_dot = true;
+            i += 1;
+            if seen_digit {
+                end = i;
+            }
+        } else if (c == b'e' || c == b'E') && seen_digit && !seen_exp {
+            // Look ahead for a valid exponent.
+            let mut j = i + 1;
+            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j].is_ascii_digit() {
+                seen_exp = true;
+                i = j;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    if !seen_digit {
+        return 0.0;
+    }
+    t[..end].parse::<f64>().unwrap_or(0.0)
+}
+
+/// Parses the longest integer prefix of a string (SQLite text → integer
+/// conversion).  Saturates on overflow.
+#[must_use]
+pub fn text_integer_prefix(s: &str) -> i64 {
+    let t = s.trim_start();
+    let bytes = t.as_bytes();
+    let mut i = 0usize;
+    let negative = if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+        let neg = bytes[i] == b'-';
+        i += 1;
+        neg
+    } else {
+        false
+    };
+    let mut acc: i128 = 0;
+    let mut seen_digit = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        seen_digit = true;
+        acc = acc * 10 + i128::from(bytes[i] - b'0');
+        if acc > i64::MAX as i128 + 1 {
+            acc = i64::MAX as i128 + 1;
+            // Keep consuming digits but stop accumulating.
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    if !seen_digit {
+        return 0;
+    }
+    let signed = if negative { -acc } else { acc };
+    signed.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+/// Converts a real to an integer with saturation (SQLite CAST semantics).
+#[must_use]
+pub fn real_to_int_saturating(r: f64) -> i64 {
+    if r.is_nan() {
+        0
+    } else if r >= i64::MAX as f64 {
+        i64::MAX
+    } else if r <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        r as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tribool_truth_tables() {
+        use TriBool::{False, True, Unknown};
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+    }
+
+    #[test]
+    fn storage_classes() {
+        assert_eq!(Value::Null.storage_class(), StorageClass::Null);
+        assert_eq!(Value::Integer(3).storage_class(), StorageClass::Integer);
+        assert_eq!(Value::Real(0.5).storage_class(), StorageClass::Real);
+        assert_eq!(Value::Text("x".into()).storage_class(), StorageClass::Text);
+        assert_eq!(Value::Blob(vec![1]).storage_class(), StorageClass::Blob);
+        assert_eq!(Value::Boolean(true).storage_class(), StorageClass::Boolean);
+    }
+
+    #[test]
+    fn lenient_boolean_conversion() {
+        assert_eq!(Value::Integer(0).to_tribool_lenient(), TriBool::False);
+        assert_eq!(Value::Integer(5).to_tribool_lenient(), TriBool::True);
+        assert_eq!(Value::Real(0.5).to_tribool_lenient(), TriBool::True);
+        assert_eq!(Value::Null.to_tribool_lenient(), TriBool::Unknown);
+        assert_eq!(Value::Text("0.5abc".into()).to_tribool_lenient(), TriBool::True);
+        assert_eq!(Value::Text("abc".into()).to_tribool_lenient(), TriBool::False);
+    }
+
+    #[test]
+    fn numeric_prefix_parsing() {
+        assert_eq!(text_numeric_prefix("12abc"), 12.0);
+        assert_eq!(text_numeric_prefix("  -3.5e2xyz"), -350.0);
+        assert_eq!(text_numeric_prefix("abc"), 0.0);
+        assert_eq!(text_numeric_prefix(""), 0.0);
+        assert_eq!(text_numeric_prefix("."), 0.0);
+        assert_eq!(text_numeric_prefix("1e"), 1.0);
+        assert_eq!(text_integer_prefix("42abc"), 42);
+        assert_eq!(text_integer_prefix("-7"), -7);
+        assert_eq!(text_integer_prefix("xyz"), 0);
+        assert_eq!(text_integer_prefix("99999999999999999999999"), i64::MAX);
+        assert_eq!(text_integer_prefix("-99999999999999999999999"), i64::MIN);
+    }
+
+    #[test]
+    fn ordering_across_classes() {
+        let null = Value::Null;
+        let int = Value::Integer(5);
+        let text = Value::Text("a".into());
+        let blob = Value::Blob(vec![0]);
+        assert_eq!(null.total_cmp(&int, Collation::Binary), Ordering::Less);
+        assert_eq!(int.total_cmp(&text, Collation::Binary), Ordering::Less);
+        assert_eq!(text.total_cmp(&blob, Collation::Binary), Ordering::Less);
+    }
+
+    #[test]
+    fn numeric_equality_across_int_and_real() {
+        assert!(Value::Integer(1).same_as(&Value::Real(1.0)));
+        assert!(!Value::Integer(1).same_as(&Value::Real(1.5)));
+        assert!(Value::Boolean(true).same_as(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn sql_literal_round_trip_shapes() {
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Integer(-3).to_sql_literal(), "-3");
+        assert_eq!(Value::Text("a'b".into()).to_sql_literal(), "'a''b'");
+        assert_eq!(Value::Blob(vec![0xAB, 0x01]).to_sql_literal(), "x'AB01'");
+        assert_eq!(Value::Real(2.0).to_sql_literal(), "2.0");
+        assert_eq!(Value::Boolean(false).to_sql_literal(), "FALSE");
+    }
+
+    #[test]
+    fn real_to_int_saturation() {
+        assert_eq!(real_to_int_saturating(1e30), i64::MAX);
+        assert_eq!(real_to_int_saturating(-1e30), i64::MIN);
+        assert_eq!(real_to_int_saturating(f64::NAN), 0);
+        assert_eq!(real_to_int_saturating(3.9), 3);
+    }
+}

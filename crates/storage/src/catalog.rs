@@ -1,0 +1,386 @@
+//! The database catalog: tables, indexes, views and run-time options.
+//!
+//! The catalog doubles as the *schema introspection* surface that SQLancer's
+//! generators query dynamically (the `sqlite_master` /
+//! `information_schema.tables` analogue described in §3.4 of the paper).
+
+use std::collections::BTreeMap;
+
+use lancer_sql::ast::Select;
+use lancer_sql::value::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::index::{Index, IndexDef};
+use crate::schema::TableSchema;
+use crate::table::Table;
+
+/// A stored view definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct View {
+    /// View name.
+    pub name: String,
+    /// The defining query.
+    pub query: Select,
+}
+
+/// An in-memory database: the unit a single PQS worker thread owns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    indexes: BTreeMap<String, Index>,
+    views: BTreeMap<String, View>,
+    options: BTreeMap<String, Value>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    // ---------------------------------------------------------------- tables
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a table or view with that name already exists.
+    pub fn create_table(&mut self, schema: TableSchema) -> StorageResult<()> {
+        let key = schema.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(StorageError::TableExists(schema.name));
+        }
+        self.tables.insert(key, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drops a table and every index defined on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table does not exist.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.remove(&key).is_none() {
+            return Err(StorageError::NoSuchTable(name.to_owned()));
+        }
+        self.indexes.retain(|_, idx| !idx.def.table.eq_ignore_ascii_case(name));
+        Ok(())
+    }
+
+    /// Renames a table, updating indexes that reference it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the source is missing or the target exists.
+    pub fn rename_table(&mut self, old: &str, new: &str) -> StorageResult<()> {
+        let old_key = old.to_ascii_lowercase();
+        let new_key = new.to_ascii_lowercase();
+        if self.tables.contains_key(&new_key) || self.views.contains_key(&new_key) {
+            return Err(StorageError::TableExists(new.to_owned()));
+        }
+        let mut table = self
+            .tables
+            .remove(&old_key)
+            .ok_or_else(|| StorageError::NoSuchTable(old.to_owned()))?;
+        table.schema.name = new.to_owned();
+        self.tables.insert(new_key, table);
+        for idx in self.indexes.values_mut() {
+            if idx.def.table.eq_ignore_ascii_case(old) {
+                idx.def.table = new.to_owned();
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a table by name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Returns a mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// Returns a table or a [`StorageError::NoSuchTable`] error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table does not exist.
+    pub fn require_table(&self, name: &str) -> StorageResult<&Table> {
+        self.table(name).ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Returns a mutable table or a [`StorageError::NoSuchTable`] error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table does not exist.
+    pub fn require_table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
+    }
+
+    /// All table names (schema introspection).
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.values().map(|t| t.schema.name.clone()).collect()
+    }
+
+    /// Child tables that inherit from the given parent (PostgreSQL-like
+    /// table inheritance).
+    #[must_use]
+    pub fn children_of(&self, parent: &str) -> Vec<String> {
+        self.tables
+            .values()
+            .filter(|t| t.schema.inherits.as_deref().is_some_and(|p| p.eq_ignore_ascii_case(parent)))
+            .map(|t| t.schema.name.clone())
+            .collect()
+    }
+
+    // --------------------------------------------------------------- indexes
+
+    /// Registers an index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an index with that name exists or the table is
+    /// missing.
+    pub fn create_index(&mut self, index: Index) -> StorageResult<()> {
+        let key = index.def.name.to_ascii_lowercase();
+        if self.indexes.contains_key(&key) {
+            return Err(StorageError::IndexExists(index.def.name.clone()));
+        }
+        if self.table(&index.def.table).is_none() {
+            return Err(StorageError::NoSuchTable(index.def.table.clone()));
+        }
+        self.indexes.insert(key, index);
+        Ok(())
+    }
+
+    /// Drops an explicit index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is missing or implicit.
+    pub fn drop_index(&mut self, name: &str) -> StorageResult<()> {
+        let key = name.to_ascii_lowercase();
+        match self.indexes.get(&key) {
+            None => Err(StorageError::NoSuchIndex(name.to_owned())),
+            Some(idx) if idx.def.implicit => Err(StorageError::Internal(format!(
+                "index {name} is implicitly created and cannot be dropped"
+            ))),
+            Some(_) => {
+                self.indexes.remove(&key);
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns an index by name.
+    #[must_use]
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.get(&name.to_ascii_lowercase())
+    }
+
+    /// Returns a mutable index by name.
+    pub fn index_mut(&mut self, name: &str) -> Option<&mut Index> {
+        self.indexes.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// All indexes on a table.
+    #[must_use]
+    pub fn indexes_on(&self, table: &str) -> Vec<&Index> {
+        self.indexes.values().filter(|i| i.def.table.eq_ignore_ascii_case(table)).collect()
+    }
+
+    /// All indexes on a table, mutably.
+    pub fn indexes_on_mut(&mut self, table: &str) -> Vec<&mut Index> {
+        self.indexes
+            .values_mut()
+            .filter(|i| i.def.table.eq_ignore_ascii_case(table))
+            .collect()
+    }
+
+    /// All index names.
+    #[must_use]
+    pub fn index_names(&self) -> Vec<String> {
+        self.indexes.values().map(|i| i.def.name.clone()).collect()
+    }
+
+    /// All index definitions (for the generator).
+    #[must_use]
+    pub fn index_defs(&self) -> Vec<&IndexDef> {
+        self.indexes.values().map(|i| &i.def).collect()
+    }
+
+    // ----------------------------------------------------------------- views
+
+    /// Creates a view.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a table or view with that name already exists.
+    pub fn create_view(&mut self, view: View) -> StorageResult<()> {
+        let key = view.name.to_ascii_lowercase();
+        if self.views.contains_key(&key) || self.tables.contains_key(&key) {
+            return Err(StorageError::ViewExists(view.name));
+        }
+        self.views.insert(key, view);
+        Ok(())
+    }
+
+    /// Drops a view.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the view does not exist.
+    pub fn drop_view(&mut self, name: &str) -> StorageResult<()> {
+        self.views
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NoSuchView(name.to_owned()))
+    }
+
+    /// Returns a view by name.
+    #[must_use]
+    pub fn view(&self, name: &str) -> Option<&View> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// All view names.
+    #[must_use]
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.values().map(|v| v.name.clone()).collect()
+    }
+
+    // --------------------------------------------------------------- options
+
+    /// Sets a run-time option (`PRAGMA` / `SET`).
+    pub fn set_option(&mut self, name: &str, value: Value) {
+        self.options.insert(name.to_ascii_lowercase(), value);
+    }
+
+    /// Reads a run-time option.
+    #[must_use]
+    pub fn option(&self, name: &str) -> Option<&Value> {
+        self.options.get(&name.to_ascii_lowercase())
+    }
+
+    /// Reads a boolean-ish option with a default.
+    #[must_use]
+    pub fn option_bool(&self, name: &str, default: bool) -> bool {
+        match self.option(name) {
+            Some(v) => v.to_tribool_lenient().is_true(),
+            None => default,
+        }
+    }
+
+    /// Total number of rows across all tables (used by throughput reports).
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancer_sql::ast::stmt::{ColumnDef, CreateTable};
+    use lancer_sql::ast::Expr;
+    use lancer_sql::collation::Collation;
+
+    fn simple_schema(name: &str) -> TableSchema {
+        TableSchema::from_create(&CreateTable::new(name, vec![ColumnDef::new("c0", None)])).unwrap()
+    }
+
+    fn simple_index(name: &str, table: &str) -> Index {
+        Index::new(IndexDef {
+            name: name.into(),
+            table: table.into(),
+            exprs: vec![Expr::col("c0")],
+            collations: vec![Collation::Binary],
+            unique: false,
+            where_clause: None,
+            implicit: false,
+        })
+    }
+
+    #[test]
+    fn table_lifecycle() {
+        let mut db = Database::new();
+        db.create_table(simple_schema("t0")).unwrap();
+        assert!(db.create_table(simple_schema("T0")).is_err(), "names are case-insensitive");
+        assert_eq!(db.table_names(), vec!["t0"]);
+        db.rename_table("t0", "t1").unwrap();
+        assert!(db.table("t0").is_none());
+        assert!(db.table("t1").is_some());
+        db.drop_table("t1").unwrap();
+        assert!(matches!(db.drop_table("t1"), Err(StorageError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn index_lifecycle_and_cascade_on_drop_table() {
+        let mut db = Database::new();
+        db.create_table(simple_schema("t0")).unwrap();
+        db.create_index(simple_index("i0", "t0")).unwrap();
+        assert!(db.create_index(simple_index("i0", "t0")).is_err());
+        assert!(db.create_index(simple_index("i1", "missing")).is_err());
+        assert_eq!(db.indexes_on("t0").len(), 1);
+        db.drop_table("t0").unwrap();
+        assert!(db.index("i0").is_none(), "indexes are dropped with their table");
+    }
+
+    #[test]
+    fn implicit_indexes_cannot_be_dropped() {
+        let mut db = Database::new();
+        db.create_table(simple_schema("t0")).unwrap();
+        let mut idx = simple_index("sqlite_autoindex_t0_1", "t0");
+        idx.def.implicit = true;
+        db.create_index(idx).unwrap();
+        assert!(db.drop_index("sqlite_autoindex_t0_1").is_err());
+        assert!(matches!(db.drop_index("zzz"), Err(StorageError::NoSuchIndex(_))));
+    }
+
+    #[test]
+    fn rename_table_updates_indexes() {
+        let mut db = Database::new();
+        db.create_table(simple_schema("t0")).unwrap();
+        db.create_index(simple_index("i0", "t0")).unwrap();
+        db.rename_table("t0", "t5").unwrap();
+        assert_eq!(db.index("i0").unwrap().def.table, "t5");
+        assert_eq!(db.indexes_on("t5").len(), 1);
+    }
+
+    #[test]
+    fn views_and_options() {
+        let mut db = Database::new();
+        db.create_table(simple_schema("t0")).unwrap();
+        db.create_view(View { name: "v0".into(), query: Select::star(vec!["t0".into()]) }).unwrap();
+        assert!(db.create_view(View { name: "t0".into(), query: Select::star(vec!["t0".into()]) }).is_err());
+        assert_eq!(db.view_names(), vec!["v0"]);
+        db.drop_view("v0").unwrap();
+        assert!(db.drop_view("v0").is_err());
+
+        db.set_option("case_sensitive_like", Value::Integer(1));
+        assert!(db.option_bool("case_sensitive_like", false));
+        assert!(!db.option_bool("missing", false));
+        assert_eq!(db.option("case_sensitive_like"), Some(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn inheritance_children_lookup() {
+        let mut db = Database::new();
+        db.create_table(simple_schema("t0")).unwrap();
+        let mut child = CreateTable::new("t1", vec![ColumnDef::new("c0", None)]);
+        child.inherits = Some("t0".into());
+        db.create_table(TableSchema::from_create(&child).unwrap()).unwrap();
+        assert_eq!(db.children_of("t0"), vec!["t1"]);
+        assert!(db.children_of("t1").is_empty());
+    }
+}

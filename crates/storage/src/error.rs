@@ -1,0 +1,92 @@
+//! Storage-layer errors.
+//!
+//! The error messages intentionally mimic the wording of the real DBMS
+//! ("UNIQUE constraint failed", "database disk image is malformed", ...)
+//! because the PQS *error oracle* classifies bugs by matching error messages
+//! against per-statement whitelists, exactly as described in §3.3 of the
+//! paper.
+
+use std::fmt;
+
+/// An error raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The referenced table does not exist.
+    NoSuchTable(String),
+    /// The referenced column does not exist.
+    NoSuchColumn(String),
+    /// A column with this name already exists in the table.
+    DuplicateColumn(String),
+    /// An index with this name already exists.
+    IndexExists(String),
+    /// The referenced index does not exist.
+    NoSuchIndex(String),
+    /// A view with this name already exists.
+    ViewExists(String),
+    /// The referenced view does not exist.
+    NoSuchView(String),
+    /// A `UNIQUE` or `PRIMARY KEY` constraint was violated.
+    UniqueViolation {
+        /// The constraint or index that was violated.
+        constraint: String,
+    },
+    /// A `NOT NULL` constraint was violated.
+    NotNullViolation {
+        /// The violating column.
+        column: String,
+    },
+    /// The on-disk image (here: the in-memory image) is corrupted.  This is
+    /// what the error oracle treats as always-unexpected.
+    Corruption(String),
+    /// Any other internal error.
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(t) => write!(f, "table {t} already exists"),
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StorageError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            StorageError::DuplicateColumn(c) => write!(f, "duplicate column name: {c}"),
+            StorageError::IndexExists(i) => write!(f, "index {i} already exists"),
+            StorageError::NoSuchIndex(i) => write!(f, "no such index: {i}"),
+            StorageError::ViewExists(v) => write!(f, "view {v} already exists"),
+            StorageError::NoSuchView(v) => write!(f, "no such view: {v}"),
+            StorageError::UniqueViolation { constraint } => {
+                write!(f, "UNIQUE constraint failed: {constraint}")
+            }
+            StorageError::NotNullViolation { column } => {
+                write!(f, "NOT NULL constraint failed: {column}")
+            }
+            StorageError::Corruption(detail) => {
+                write!(f, "database disk image is malformed ({detail})")
+            }
+            StorageError::Internal(detail) => write!(f, "internal storage error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_match_dbms_wording() {
+        assert_eq!(
+            StorageError::UniqueViolation { constraint: "t0.c0".into() }.to_string(),
+            "UNIQUE constraint failed: t0.c0"
+        );
+        assert!(StorageError::Corruption("index i0".into())
+            .to_string()
+            .contains("database disk image is malformed"));
+        assert_eq!(StorageError::NoSuchTable("t9".into()).to_string(), "no such table: t9");
+    }
+}

@@ -1,0 +1,268 @@
+//! Secondary (and implicit constraint) indexes.
+//!
+//! Index *entries* are materialised key tuples per row; the engine computes
+//! the keys (it owns expression evaluation) and the index stores and queries
+//! them.  Indexes can be explicitly marked *corrupted*, which is how injected
+//! faults surface "database disk image is malformed" errors for the error
+//! oracle (§3.3, Listing 10 of the paper).
+
+use lancer_sql::ast::Expr;
+use lancer_sql::collation::Collation;
+use lancer_sql::value::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::table::RowId;
+
+/// The definition of an index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Index name.
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed expressions (usually plain column references).
+    pub exprs: Vec<Expr>,
+    /// Per-key collations (parallel to `exprs`).
+    pub collations: Vec<Collation>,
+    /// Whether the index enforces uniqueness.
+    pub unique: bool,
+    /// Partial-index predicate; rows for which it does not hold are absent.
+    pub where_clause: Option<Expr>,
+    /// Whether this index was implicitly created for a `PRIMARY KEY` or
+    /// `UNIQUE` column constraint (it then cannot be dropped directly).
+    pub implicit: bool,
+}
+
+/// One index entry: the computed key for a row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The key values (parallel to [`IndexDef::exprs`]).
+    pub key: Vec<Value>,
+    /// The indexed row.
+    pub row_id: RowId,
+}
+
+/// An index: definition plus materialised entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Index {
+    /// The index definition.
+    pub def: IndexDef,
+    entries: Vec<IndexEntry>,
+    corrupted: Option<String>,
+}
+
+impl Index {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new(def: IndexDef) -> Index {
+        Index { def, entries: Vec::new(), corrupted: None }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the index has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Marks the index as corrupted with a reason; subsequent integrity
+    /// checks will surface a corruption error.
+    pub fn corrupt(&mut self, reason: impl Into<String>) {
+        self.corrupted = Some(reason.into());
+    }
+
+    /// Clears the corruption flag (e.g. after `REINDEX` rebuilds the index).
+    pub fn clear_corruption(&mut self) {
+        self.corrupted = None;
+    }
+
+    /// Returns the corruption reason, if the index is corrupted.
+    #[must_use]
+    pub fn corruption(&self) -> Option<&str> {
+        self.corrupted.as_deref()
+    }
+
+    /// Compares two keys component-wise under the index collations.
+    #[must_use]
+    pub fn keys_equal(&self, a: &[Value], b: &[Value]) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        a.iter().zip(b.iter()).enumerate().all(|(i, (x, y))| {
+            let coll = self.def.collations.get(i).copied().unwrap_or_default();
+            match (x, y) {
+                (Value::Text(sx), Value::Text(sy)) => coll.equal(sx, sy),
+                _ => x.same_as(y),
+            }
+        })
+    }
+
+    /// Inserts an entry, enforcing uniqueness for unique indexes.
+    ///
+    /// A key containing `NULL` never conflicts (SQL `UNIQUE` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::UniqueViolation`] on a duplicate key in a
+    /// unique index.
+    pub fn insert(&mut self, key: Vec<Value>, row_id: RowId) -> StorageResult<()> {
+        if self.def.unique && !key.iter().any(Value::is_null) {
+            if let Some(existing) = self
+                .entries
+                .iter()
+                .find(|e| e.row_id != row_id && self.keys_equal(&e.key, &key))
+            {
+                let _ = existing;
+                return Err(StorageError::UniqueViolation {
+                    constraint: format!("index {}", self.def.name),
+                });
+            }
+        }
+        self.entries.push(IndexEntry { key, row_id });
+        Ok(())
+    }
+
+    /// Inserts an entry without any uniqueness check (used by injected
+    /// faults that skip constraint maintenance).
+    pub fn insert_unchecked(&mut self, key: Vec<Value>, row_id: RowId) {
+        self.entries.push(IndexEntry { key, row_id });
+    }
+
+    /// Removes all entries for a row.
+    pub fn remove_row(&mut self, row_id: RowId) {
+        self.entries.retain(|e| e.row_id != row_id);
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Returns the row ids whose key equals the probe key.
+    #[must_use]
+    pub fn lookup(&self, key: &[Value]) -> Vec<RowId> {
+        self.entries
+            .iter()
+            .filter(|e| self.keys_equal(&e.key, key))
+            .map(|e| e.row_id)
+            .collect()
+    }
+
+    /// Returns all entries (for index scans).
+    #[must_use]
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// Returns all row ids present in the index.
+    #[must_use]
+    pub fn row_ids(&self) -> Vec<RowId> {
+        self.entries.iter().map(|e| e.row_id).collect()
+    }
+
+    /// Verifies the unique property over the stored entries, returning a
+    /// corruption error if it is violated or if the index was flagged
+    /// corrupted.  Used by `REINDEX`, `CHECK TABLE` and `VACUUM`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Corruption`] if the index was marked
+    /// corrupted, or [`StorageError::UniqueViolation`] if duplicate keys are
+    /// present in a unique index.
+    pub fn verify(&self) -> StorageResult<()> {
+        if let Some(reason) = &self.corrupted {
+            return Err(StorageError::Corruption(format!("index {}: {reason}", self.def.name)));
+        }
+        if self.def.unique {
+            for (i, a) in self.entries.iter().enumerate() {
+                if a.key.iter().any(Value::is_null) {
+                    continue;
+                }
+                for b in &self.entries[i + 1..] {
+                    if self.keys_equal(&a.key, &b.key) {
+                        return Err(StorageError::UniqueViolation {
+                            constraint: format!("index {}", self.def.name),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancer_sql::ast::Expr;
+
+    fn unique_index(collation: Collation) -> Index {
+        Index::new(IndexDef {
+            name: "i0".into(),
+            table: "t0".into(),
+            exprs: vec![Expr::col("c0")],
+            collations: vec![collation],
+            unique: true,
+            where_clause: None,
+            implicit: false,
+        })
+    }
+
+    #[test]
+    fn unique_violation_detected() {
+        let mut idx = unique_index(Collation::Binary);
+        idx.insert(vec![Value::Integer(1)], 1).unwrap();
+        assert!(matches!(
+            idx.insert(vec![Value::Integer(1)], 2),
+            Err(StorageError::UniqueViolation { .. })
+        ));
+        // NULL keys never conflict.
+        idx.insert(vec![Value::Null], 3).unwrap();
+        idx.insert(vec![Value::Null], 4).unwrap();
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn collation_aware_uniqueness() {
+        let mut idx = unique_index(Collation::NoCase);
+        idx.insert(vec![Value::Text("A".into())], 1).unwrap();
+        assert!(idx.insert(vec![Value::Text("a".into())], 2).is_err());
+        let mut rtrim = unique_index(Collation::Rtrim);
+        rtrim.insert(vec![Value::Text("x".into())], 1).unwrap();
+        assert!(rtrim.insert(vec![Value::Text("x   ".into())], 2).is_err());
+    }
+
+    #[test]
+    fn lookup_and_removal() {
+        let mut idx = unique_index(Collation::Binary);
+        idx.insert(vec![Value::Integer(1)], 1).unwrap();
+        idx.insert(vec![Value::Integer(2)], 2).unwrap();
+        assert_eq!(idx.lookup(&[Value::Integer(2)]), vec![2]);
+        assert_eq!(idx.lookup(&[Value::Real(1.0)]), vec![1], "numeric equality across classes");
+        idx.remove_row(1);
+        assert!(idx.lookup(&[Value::Integer(1)]).is_empty());
+        idx.clear();
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn verify_detects_corruption_and_duplicates() {
+        let mut idx = unique_index(Collation::Binary);
+        idx.insert(vec![Value::Integer(1)], 1).unwrap();
+        assert!(idx.verify().is_ok());
+        idx.insert_unchecked(vec![Value::Integer(1)], 2);
+        assert!(matches!(idx.verify(), Err(StorageError::UniqueViolation { .. })));
+        let mut idx2 = unique_index(Collation::Binary);
+        idx2.corrupt("fault injection");
+        assert!(matches!(idx2.verify(), Err(StorageError::Corruption(_))));
+        idx2.clear_corruption();
+        assert!(idx2.verify().is_ok());
+        assert!(idx2.corruption().is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! Table schemas and column metadata.
+
+use lancer_sql::ast::expr::TypeName;
+use lancer_sql::ast::stmt::{ColumnConstraint, ColumnDef, CreateTable, TableConstraint, TableEngine};
+use lancer_sql::ast::Expr;
+use lancer_sql::collation::Collation;
+use lancer_sql::value::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+
+/// The *type affinity* of a column, which governs implicit conversions on
+/// insertion in the SQLite-like dialect (and strict typing in the others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Affinity {
+    /// Prefer integers.
+    Integer,
+    /// Prefer reals.
+    Real,
+    /// Prefer text.
+    Text,
+    /// Store anything as-is (BLOB affinity / no declared type).
+    Blob,
+    /// Boolean affinity (PostgreSQL-like dialect).
+    Boolean,
+    /// Numeric affinity (integer if lossless, else real).
+    Numeric,
+}
+
+impl Affinity {
+    /// Derives the affinity from a declared type, following SQLite's
+    /// affinity rules extended with the MySQL/PostgreSQL-specific types.
+    #[must_use]
+    pub fn from_type(t: Option<TypeName>) -> Affinity {
+        match t {
+            None => Affinity::Blob,
+            Some(TypeName::Integer | TypeName::TinyInt | TypeName::Unsigned | TypeName::Serial) => {
+                Affinity::Integer
+            }
+            Some(TypeName::Real) => Affinity::Real,
+            Some(TypeName::Text) => Affinity::Text,
+            Some(TypeName::Blob) => Affinity::Blob,
+            Some(TypeName::Boolean) => Affinity::Boolean,
+        }
+    }
+}
+
+/// Metadata describing a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name.
+    pub name: String,
+    /// Declared type (absent only in the SQLite-like dialect).
+    pub type_name: Option<TypeName>,
+    /// Collation for text comparisons.
+    pub collation: Collation,
+    /// `NOT NULL` constraint.
+    pub not_null: bool,
+    /// Column-level `PRIMARY KEY`.
+    pub primary_key: bool,
+    /// Column-level `UNIQUE`.
+    pub unique: bool,
+    /// `DEFAULT` value.
+    pub default: Option<Value>,
+    /// Column-level `CHECK` expression (evaluated by the engine).
+    pub check: Option<Expr>,
+}
+
+impl ColumnMeta {
+    /// Builds column metadata from an AST column definition.
+    #[must_use]
+    pub fn from_def(def: &ColumnDef) -> ColumnMeta {
+        let mut meta = ColumnMeta {
+            name: def.name.clone(),
+            type_name: def.type_name,
+            collation: Collation::Binary,
+            not_null: false,
+            primary_key: false,
+            unique: false,
+            default: None,
+            check: None,
+        };
+        for c in &def.constraints {
+            match c {
+                ColumnConstraint::PrimaryKey => meta.primary_key = true,
+                ColumnConstraint::Unique => meta.unique = true,
+                ColumnConstraint::NotNull => meta.not_null = true,
+                ColumnConstraint::Collate(coll) => meta.collation = *coll,
+                ColumnConstraint::Default(v) => meta.default = Some(v.clone()),
+                ColumnConstraint::Check(e) => meta.check = Some(e.clone()),
+            }
+        }
+        meta
+    }
+
+    /// The column's affinity.
+    #[must_use]
+    pub fn affinity(&self) -> Affinity {
+        Affinity::from_type(self.type_name)
+    }
+}
+
+/// The schema of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnMeta>,
+    /// Columns participating in a table-level `PRIMARY KEY`, in order.
+    pub primary_key: Vec<String>,
+    /// Table-level `UNIQUE` constraints (each a list of columns).
+    pub unique_constraints: Vec<Vec<String>>,
+    /// Table-level `CHECK` expressions.
+    pub checks: Vec<Expr>,
+    /// SQLite `WITHOUT ROWID`.
+    pub without_rowid: bool,
+    /// MySQL storage engine.
+    pub engine: TableEngine,
+    /// PostgreSQL parent table (`INHERITS`).
+    pub inherits: Option<String>,
+}
+
+impl TableSchema {
+    /// Builds a schema from an AST `CREATE TABLE`, validating column
+    /// uniqueness and constraint references.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate column names or constraints referencing
+    /// unknown columns.
+    pub fn from_create(ct: &CreateTable) -> StorageResult<TableSchema> {
+        let mut columns = Vec::with_capacity(ct.columns.len());
+        for def in &ct.columns {
+            if columns.iter().any(|c: &ColumnMeta| c.name.eq_ignore_ascii_case(&def.name)) {
+                return Err(StorageError::DuplicateColumn(def.name.clone()));
+            }
+            columns.push(ColumnMeta::from_def(def));
+        }
+        let mut primary_key: Vec<String> =
+            columns.iter().filter(|c| c.primary_key).map(|c| c.name.clone()).collect();
+        let mut unique_constraints = Vec::new();
+        let mut checks = Vec::new();
+        for constraint in &ct.constraints {
+            match constraint {
+                TableConstraint::PrimaryKey(cols) => {
+                    for c in cols {
+                        if !columns.iter().any(|m| m.name.eq_ignore_ascii_case(c)) {
+                            return Err(StorageError::NoSuchColumn(c.clone()));
+                        }
+                    }
+                    primary_key = cols.clone();
+                }
+                TableConstraint::Unique(cols) => {
+                    for c in cols {
+                        if !columns.iter().any(|m| m.name.eq_ignore_ascii_case(c)) {
+                            return Err(StorageError::NoSuchColumn(c.clone()));
+                        }
+                    }
+                    unique_constraints.push(cols.clone());
+                }
+                TableConstraint::Check(e) => checks.push(e.clone()),
+            }
+        }
+        Ok(TableSchema {
+            name: ct.name.clone(),
+            columns,
+            primary_key,
+            unique_constraints,
+            checks,
+            without_rowid: ct.without_rowid,
+            engine: ct.engine,
+            inherits: ct.inherits.clone(),
+        })
+    }
+
+    /// Looks up a column index by name (case-insensitive).
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Looks up column metadata by name (case-insensitive).
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All column names in declaration order.
+    #[must_use]
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Returns `true` if the table has an explicit primary key.
+    #[must_use]
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancer_sql::parser::parse_statement;
+    use lancer_sql::Statement;
+
+    fn schema_of(sql: &str) -> StorageResult<TableSchema> {
+        match parse_statement(sql).unwrap() {
+            Statement::CreateTable(ct) => TableSchema::from_create(&ct),
+            other => panic!("not a CREATE TABLE: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn affinity_rules() {
+        assert_eq!(Affinity::from_type(None), Affinity::Blob);
+        assert_eq!(Affinity::from_type(Some(TypeName::Integer)), Affinity::Integer);
+        assert_eq!(Affinity::from_type(Some(TypeName::Serial)), Affinity::Integer);
+        assert_eq!(Affinity::from_type(Some(TypeName::Boolean)), Affinity::Boolean);
+        assert_eq!(Affinity::from_type(Some(TypeName::Text)), Affinity::Text);
+    }
+
+    #[test]
+    fn builds_schema_with_column_constraints() {
+        let s = schema_of("CREATE TABLE t0(c0 INT PRIMARY KEY, c1 TEXT NOT NULL COLLATE NOCASE, c2 REAL DEFAULT 1.5)").unwrap();
+        assert_eq!(s.columns.len(), 3);
+        assert!(s.columns[0].primary_key);
+        assert_eq!(s.primary_key, vec!["c0"]);
+        assert!(s.columns[1].not_null);
+        assert_eq!(s.columns[1].collation, Collation::NoCase);
+        assert_eq!(s.columns[2].default, Some(Value::Real(1.5)));
+    }
+
+    #[test]
+    fn builds_schema_with_table_constraints() {
+        let s = schema_of(
+            "CREATE TABLE t0(c0 COLLATE RTRIM, c1 BLOB UNIQUE, PRIMARY KEY (c0, c1)) WITHOUT ROWID",
+        )
+        .unwrap();
+        assert_eq!(s.primary_key, vec!["c0", "c1"]);
+        assert!(s.without_rowid);
+        assert!(s.columns[1].unique);
+    }
+
+    #[test]
+    fn rejects_duplicate_columns_and_bad_refs() {
+        assert!(matches!(
+            schema_of("CREATE TABLE t0(c0, c0)"),
+            Err(StorageError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            schema_of("CREATE TABLE t0(c0, PRIMARY KEY (nope))"),
+            Err(StorageError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            schema_of("CREATE TABLE t0(c0, UNIQUE (missing))"),
+            Err(StorageError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = schema_of("CREATE TABLE t0(C0 INT, c1 TEXT)").unwrap();
+        assert_eq!(s.column_index("c0"), Some(0));
+        assert_eq!(s.column_index("C1"), Some(1));
+        assert!(s.column("zzz").is_none());
+        assert_eq!(s.column_names(), vec!["C0", "c1"]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Row storage for a single table.
+
+use std::collections::BTreeMap;
+
+use lancer_sql::value::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::TableSchema;
+
+/// An opaque row identifier (the SQLite `rowid` analogue).
+pub type RowId = u64;
+
+/// A stored row together with its identifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// The row identifier.
+    pub id: RowId,
+    /// Column values in schema order.
+    pub values: Vec<Value>,
+}
+
+/// A table: schema plus rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// The table schema.
+    pub schema: TableSchema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_row_id: RowId,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    #[must_use]
+    pub fn new(schema: TableSchema) -> Table {
+        Table { schema, rows: BTreeMap::new(), next_row_id: 1 }
+    }
+
+    /// Number of rows currently stored.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row (values must already be in schema order and affinity-
+    /// converted by the engine).  Returns the new row id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value count does not match the schema.
+    pub fn insert(&mut self, values: Vec<Value>) -> StorageResult<RowId> {
+        if values.len() != self.schema.columns.len() {
+            return Err(StorageError::Internal(format!(
+                "table {} has {} columns but {} values were supplied",
+                self.schema.name,
+                self.schema.columns.len(),
+                values.len()
+            )));
+        }
+        let id = self.next_row_id;
+        self.next_row_id += 1;
+        self.rows.insert(id, values);
+        Ok(id)
+    }
+
+    /// Fetches a row by id.
+    #[must_use]
+    pub fn get(&self, id: RowId) -> Option<Row> {
+        self.rows.get(&id).map(|values| Row { id, values: values.clone() })
+    }
+
+    /// Replaces the values of an existing row.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the row does not exist or the value count is wrong.
+    pub fn update(&mut self, id: RowId, values: Vec<Value>) -> StorageResult<()> {
+        if values.len() != self.schema.columns.len() {
+            return Err(StorageError::Internal("wrong number of values in update".into()));
+        }
+        match self.rows.get_mut(&id) {
+            Some(slot) => {
+                *slot = values;
+                Ok(())
+            }
+            None => Err(StorageError::Internal(format!("no row {id} in table {}", self.schema.name))),
+        }
+    }
+
+    /// Deletes a row by id.  Returns `true` if the row existed.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        self.rows.remove(&id).is_some()
+    }
+
+    /// Iterates over all rows in rowid order.
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        self.rows.iter().map(|(id, values)| Row { id: *id, values: values.clone() })
+    }
+
+    /// Returns all row ids.
+    #[must_use]
+    pub fn row_ids(&self) -> Vec<RowId> {
+        self.rows.keys().copied().collect()
+    }
+
+    /// Adds a new column to the schema, filling existing rows with the given
+    /// default value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column already exists.
+    pub fn add_column(
+        &mut self,
+        meta: crate::schema::ColumnMeta,
+        fill: Value,
+    ) -> StorageResult<()> {
+        if self.schema.column_index(&meta.name).is_some() {
+            return Err(StorageError::DuplicateColumn(meta.name));
+        }
+        self.schema.columns.push(meta);
+        for values in self.rows.values_mut() {
+            values.push(fill.clone());
+        }
+        Ok(())
+    }
+
+    /// Renames a column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the old column is missing or the new name clashes.
+    pub fn rename_column(&mut self, old: &str, new: &str) -> StorageResult<()> {
+        if self.schema.column_index(new).is_some() {
+            return Err(StorageError::DuplicateColumn(new.to_owned()));
+        }
+        let idx = self
+            .schema
+            .column_index(old)
+            .ok_or_else(|| StorageError::NoSuchColumn(old.to_owned()))?;
+        self.schema.columns[idx].name = new.to_owned();
+        for pk in &mut self.schema.primary_key {
+            if pk.eq_ignore_ascii_case(old) {
+                *pk = new.to_owned();
+            }
+        }
+        for uc in &mut self.schema.unique_constraints {
+            for c in uc {
+                if c.eq_ignore_ascii_case(old) {
+                    *c = new.to_owned();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnMeta;
+    use lancer_sql::ast::stmt::{ColumnDef, CreateTable};
+
+    fn table_with_cols(n: usize) -> Table {
+        let cols = (0..n).map(|i| ColumnDef::new(format!("c{i}"), None)).collect();
+        let ct = CreateTable::new("t0", cols);
+        Table::new(TableSchema::from_create(&ct).unwrap())
+    }
+
+    #[test]
+    fn insert_get_update_delete_round_trip() {
+        let mut t = table_with_cols(2);
+        let id = t.insert(vec![Value::Integer(1), Value::Text("a".into())]).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.get(id).unwrap().values[0], Value::Integer(1));
+        t.update(id, vec![Value::Integer(2), Value::Null]).unwrap();
+        assert_eq!(t.get(id).unwrap().values[1], Value::Null);
+        assert!(t.delete(id));
+        assert!(!t.delete(id));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut t = table_with_cols(2);
+        assert!(t.insert(vec![Value::Integer(1)]).is_err());
+        assert!(t.update(1, vec![Value::Integer(1)]).is_err());
+    }
+
+    #[test]
+    fn row_ids_are_monotonic() {
+        let mut t = table_with_cols(1);
+        let a = t.insert(vec![Value::Integer(1)]).unwrap();
+        let b = t.insert(vec![Value::Integer(2)]).unwrap();
+        assert!(b > a);
+        t.delete(a);
+        let c = t.insert(vec![Value::Integer(3)]).unwrap();
+        assert!(c > b, "row ids must not be reused");
+    }
+
+    #[test]
+    fn add_and_rename_column() {
+        let mut t = table_with_cols(1);
+        t.insert(vec![Value::Integer(1)]).unwrap();
+        let meta = ColumnMeta::from_def(&ColumnDef::new("c1", None));
+        t.add_column(meta.clone(), Value::Null).unwrap();
+        assert_eq!(t.schema.columns.len(), 2);
+        assert_eq!(t.rows().next().unwrap().values.len(), 2);
+        assert!(t.add_column(meta, Value::Null).is_err());
+        t.rename_column("c1", "c9").unwrap();
+        assert!(t.schema.column_index("c9").is_some());
+        assert!(t.rename_column("zzz", "c10").is_err());
+        assert!(t.rename_column("c0", "c9").is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: reproduce the paper's motivating example (Listing 1) end to
+//! end — build a database, inject the partial-index fault, and let the
+//! containment oracle catch it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lancer_core::{rectify, Interpreter, PivotColumn, PivotRow};
+use lancer_engine::{BugId, BugProfile, Dialect, Engine};
+use lancer_sql::parser::parse_expression;
+use lancer_sql::value::Value;
+
+fn main() {
+    // The database from Listing 1 of the paper.
+    let schema = "
+        CREATE TABLE t0(c0);
+        CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;
+        INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL);
+    ";
+
+    // 1. A correct engine fetches the NULL pivot row.
+    let mut correct = Engine::new(Dialect::Sqlite);
+    correct.execute_script(schema).expect("schema must apply");
+    let result = correct.execute_sql("SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1").unwrap();
+    println!("correct engine fetched {} rows (expected 4)", result.rows.len());
+    assert!(result.contains_row(&[Value::Null]));
+
+    // 2. The same query against the engine with the paper's partial-index
+    //    fault injected: the NULL row disappears.
+    let mut buggy = Engine::with_bugs(
+        Dialect::Sqlite,
+        BugProfile::with(&[BugId::SqlitePartialIndexImpliesNotNull]),
+    );
+    buggy.execute_script(schema).expect("schema must apply");
+    let result = buggy.execute_sql("SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1").unwrap();
+    println!("faulty  engine fetched {} rows (the NULL pivot row is missing)", result.rows.len());
+    assert!(!result.contains_row(&[Value::Null]));
+
+    // 3. This is exactly what the PQS oracle automates: pick the pivot row
+    //    c0 = NULL, evaluate the random condition `t0.c0 IS NOT 1` with the
+    //    AST interpreter, rectify it to TRUE, and check containment.
+    let pivot = PivotRow {
+        columns: vec![PivotColumn {
+            table: "t0".into(),
+            meta: buggy.database().table("t0").unwrap().schema.columns[0].clone(),
+            value: Value::Null,
+        }],
+    };
+    let interp = Interpreter::new(Dialect::Sqlite);
+    let condition = parse_expression("t0.c0 IS NOT 1").unwrap();
+    let truth = interp.eval_tribool(&condition, &pivot).unwrap();
+    let rectified = rectify(condition, truth);
+    println!("rectified condition: {rectified}");
+    let check = buggy
+        .execute_sql(&format!("SELECT t0.c0 FROM t0 WHERE {rectified}"))
+        .unwrap();
+    if check.contains_row(&[Value::Null]) {
+        println!("pivot row contained: no bug detected");
+    } else {
+        println!("pivot row NOT contained: logic bug detected (as in the paper's Listing 1)");
+    }
+}

@@ -1,0 +1,60 @@
+//! Demonstrate automatic test-case reduction (§4.1): start from a long
+//! statement log that exposes the skip-scan/DISTINCT fault (Listing 6
+//! family) and shrink it to the handful of statements the paper would put in
+//! a bug report.
+//!
+//! ```sh
+//! cargo run --example reduce_testcase
+//! ```
+
+use lancer_core::{reduce_statements, runner::reproduces, DetectionKind};
+use lancer_engine::{BugId, BugProfile, Dialect};
+use lancer_sql::parse_script;
+use lancer_sql::value::Value;
+
+fn main() {
+    // A deliberately noisy reproduction script: only a few statements are
+    // actually needed to trigger the fault.
+    let script = "
+        CREATE TABLE t1 (c1, c2, c3, c4, PRIMARY KEY (c4, c3));
+        CREATE TABLE noise0(c0 INT);
+        INSERT INTO noise0(c0) VALUES (1), (2), (3);
+        CREATE INDEX noise_idx ON noise0(c0);
+        INSERT INTO t1(c3, c4) VALUES (0, 1), (1, 2), (0, 3);
+        UPDATE noise0 SET c0 = 9;
+        ANALYZE t1;
+        DELETE FROM noise0 WHERE c0 = 9;
+        SELECT DISTINCT c3, c4 FROM t1;
+    ";
+    let statements = parse_script(script).expect("script parses");
+    let profile = BugProfile::with(&[BugId::SqliteSkipScanDistinct]);
+    // The pivot row (c3, c4) = (0, 3) must appear in the DISTINCT result; the
+    // skip-scan fault dedupes on the first column only and drops it.
+    let expected = vec![Value::Integer(0), Value::Integer(3)];
+
+    // The reduction criterion is differential, exactly as in the campaign
+    // runner: the candidate must miss the pivot row with the fault enabled
+    // AND fetch it on the fault-free engine (otherwise the reducer could
+    // simply drop the INSERT that creates the pivot row).
+    let fails = |candidate: &[lancer_sql::Statement]| {
+        reproduces(Dialect::Sqlite, &profile, candidate, DetectionKind::Containment, Some(&expected))
+            && !reproduces(
+                Dialect::Sqlite,
+                &BugProfile::none(),
+                candidate,
+                DetectionKind::Containment,
+                Some(&expected),
+            )
+    };
+    assert!(fails(&statements), "the full script must reproduce the fault");
+
+    let reduced = reduce_statements(&statements, &fails);
+    println!("original test case: {} statements", statements.len());
+    println!("reduced  test case: {} statements", reduced.len());
+    println!("\n-- reduced reproduction (what the bug report would contain) --");
+    for stmt in &reduced {
+        println!("{stmt};");
+    }
+    println!("-- expected: row (0, 3) is fetched; actual: it is missing --");
+    assert!(reduced.len() < statements.len());
+}

@@ -1,0 +1,102 @@
+//! End-to-end campaign tests: running the full PQS pipeline (state
+//! generation → oracles → reduction → attribution) against every dialect
+//! profile, plus the baselines, exactly as the bench harness does — but at a
+//! size suitable for CI.
+
+use std::collections::BTreeSet;
+
+use lancer_core::baseline::{run_differential, run_fuzzer};
+use lancer_core::{run_campaign, CampaignConfig, DetectionKind};
+use lancer_engine::{BugId, BugProfile, Dialect};
+
+#[test]
+fn correct_engines_produce_no_findings() {
+    for dialect in Dialect::ALL {
+        let mut config = CampaignConfig::quick(dialect);
+        config.bugs = Some(BugProfile::none());
+        config.databases = 4;
+        config.queries_per_database = 25;
+        config.seed = 99;
+        let report = run_campaign(&config);
+        assert!(
+            report.found.is_empty(),
+            "{dialect:?}: false positives on a correct engine: {:#?}",
+            report.found
+        );
+    }
+}
+
+#[test]
+fn sqlite_campaign_finds_multiple_fault_classes() {
+    let mut config = CampaignConfig::quick(Dialect::Sqlite);
+    config.databases = 14;
+    config.queries_per_database = 50;
+    config.seed = 0xC0FFEE;
+    let report = run_campaign(&config);
+    assert!(
+        report.found.len() >= 2,
+        "expected several findings in the SQLite profile, got {:#?}",
+        report.found
+    );
+    // All findings belong to the SQLite profile and reduce to short cases.
+    for f in &report.found {
+        assert_eq!(f.id.info().dialect, Dialect::Sqlite);
+        assert!(f.reduced_loc() >= 1);
+        assert!(
+            f.reduced_loc() <= 25,
+            "reduced case unexpectedly long ({}): {:#?}",
+            f.reduced_loc(),
+            f.reduced_sql
+        );
+    }
+    // Aggregations used by the Table/Figure benches are internally consistent.
+    assert_eq!(report.table2_counts().values().sum::<usize>(), report.found.len());
+    assert!(report.table3_counts().values().sum::<usize>() <= report.found.len());
+    assert_eq!(report.reduced_lengths().len(), report.found.len());
+    assert!(report.stats.coverage_fraction > 0.15, "campaign should exercise the engine broadly");
+    assert!(report.stats.statements_per_second() > 100.0);
+}
+
+#[test]
+fn campaigns_respect_the_dialect_fault_population() {
+    let mut all_found: BTreeSet<BugId> = BTreeSet::new();
+    for dialect in Dialect::ALL {
+        let mut config = CampaignConfig::quick(dialect);
+        config.databases = 10;
+        config.queries_per_database = 40;
+        config.seed = 7;
+        let report = run_campaign(&config);
+        for f in &report.found {
+            assert_eq!(f.id.info().dialect, dialect, "finding attributed across dialects");
+            all_found.insert(f.id);
+        }
+    }
+    assert!(!all_found.is_empty(), "the combined campaigns must find at least one fault");
+}
+
+#[test]
+fn detection_kinds_match_fault_oracles_for_known_cases() {
+    // A campaign against only error-oracle faults must not report
+    // containment findings, and vice versa.
+    let mut config = CampaignConfig::quick(Dialect::Sqlite);
+    config.bugs = Some(BugProfile::with(&[BugId::SqliteReindexSpuriousUniqueFailure]));
+    config.databases = 10;
+    config.queries_per_database = 10;
+    let report = run_campaign(&config);
+    for f in &report.found {
+        assert_eq!(f.kind, DetectionKind::Error);
+        assert_eq!(f.id, BugId::SqliteReindexSpuriousUniqueFailure);
+    }
+}
+
+#[test]
+fn baselines_run_and_expose_their_limitations() {
+    let diff = run_differential(1, 4, 20);
+    assert!(diff.generated_statements > 0);
+    assert!(diff.applicability() <= 1.0);
+    for dialect in Dialect::ALL {
+        let fuzz = run_fuzzer(dialect, 2, 3, 15);
+        assert!(fuzz.statements > 0);
+        assert_eq!(fuzz.logic_bugs, 0);
+    }
+}
