@@ -30,7 +30,10 @@ fn bench_rectify_vs_reject(c: &mut Criterion) {
             let cols: Vec<_> = pivot
                 .columns
                 .iter()
-                .map(|c| lancer_core::VisibleColumn { table: c.table.clone(), meta: c.meta.clone() })
+                .map(|c| lancer_core::VisibleColumn {
+                    table: c.table.clone(),
+                    meta: c.meta.clone(),
+                })
                 .collect();
             loop {
                 let e = random_expression(&mut rng, &cols, dialect, 0);
@@ -46,7 +49,10 @@ fn bench_rectify_vs_reject(c: &mut Criterion) {
             let cols: Vec<_> = pivot
                 .columns
                 .iter()
-                .map(|c| lancer_core::VisibleColumn { table: c.table.clone(), meta: c.meta.clone() })
+                .map(|c| lancer_core::VisibleColumn {
+                    table: c.table.clone(),
+                    meta: c.meta.clone(),
+                })
                 .collect();
             loop {
                 let e = random_expression(&mut rng, &cols, dialect, 0);

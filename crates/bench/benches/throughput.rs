@@ -54,9 +54,7 @@ fn bench_statement_execution(c: &mut Criterion) {
             let mut i = 0i64;
             b.iter(|| {
                 i += 1;
-                engine
-                    .execute_sql(&format!("INSERT INTO t0(c0, c1) VALUES ({i}, 'x')"))
-                    .unwrap();
+                engine.execute_sql(&format!("INSERT INTO t0(c0, c1) VALUES ({i}, 'x')")).unwrap();
                 engine.execute_sql("SELECT * FROM t0 WHERE c0 = 1").unwrap();
                 engine.execute_sql(&format!("DELETE FROM t0 WHERE c0 = {i}")).unwrap();
             });

@@ -29,7 +29,13 @@ fn main() {
                 dialect.name(),
                 report.found.len()
             ),
-            &["statement", "fraction of test cases", "triggers:contains", "triggers:error", "triggers:segfault"],
+            &[
+                "statement",
+                "fraction of test cases",
+                "triggers:contains",
+                "triggers:error",
+                "triggers:segfault",
+            ],
             &rows,
         );
     }

@@ -14,11 +14,8 @@ fn main() {
     let opts = ReportOptions::from_args();
     let reports = run_all_campaigns(&opts);
 
-    let paper: &[(&str, [u32; 4])] = &[
-        ("sqlite", [65, 0, 4, 2]),
-        ("mysql", [15, 10, 1, 4]),
-        ("postgres", [5, 4, 7, 6]),
-    ];
+    let paper: &[(&str, [u32; 4])] =
+        &[("sqlite", [65, 0, 4, 2]), ("mysql", [15, 10, 1, 4]), ("postgres", [5, 4, 7, 6])];
 
     let mut rows = Vec::new();
     for dialect in Dialect::ALL {
@@ -40,11 +37,8 @@ fn main() {
         &["DBMS", "Fixed", "Verified", "Intended", "Duplicate", "paper (F/V/I/D)"],
         &rows,
     );
-    let sqlite_true: usize = reports[&Dialect::Sqlite]
-        .found
-        .iter()
-        .filter(|f| f.status.is_true_bug())
-        .count();
+    let sqlite_true: usize =
+        reports[&Dialect::Sqlite].found.iter().filter(|f| f.status.is_true_bug()).count();
     let mysql_true: usize =
         reports[&Dialect::Mysql].found.iter().filter(|f| f.status.is_true_bug()).count();
     let pg_true: usize =

@@ -34,9 +34,7 @@ fn main() {
             dbms_loc.to_string(),
             format!("{:.1}%", ratio * 100.0),
             format!("{:.1}%", report.stats.coverage_fraction * 100.0),
-            paper_row
-                .map(|(_, a, b, c, d)| format!("{a} | {b} | {c} | {d}"))
-                .unwrap_or_default(),
+            paper_row.map(|(_, a, b, c, d)| format!("{a} | {b} | {c} | {d}")).unwrap_or_default(),
         ]);
     }
     print_table(

@@ -77,8 +77,12 @@ pub fn run_all_campaigns(opts: &ReportOptions) -> BTreeMap<Dialect, CampaignRepo
     Dialect::ALL
         .iter()
         .map(|d| {
-            eprintln!("running {} campaign ({} databases, {} queries each)...",
-                d.name(), opts.databases, opts.queries_per_database);
+            eprintln!(
+                "running {} campaign ({} databases, {} queries each)...",
+                d.name(),
+                opts.databases,
+                opts.queries_per_database
+            );
             (*d, run_campaign(&opts.campaign(*d)))
         })
         .collect()

@@ -49,20 +49,15 @@ pub fn is_common_core(stmt: &Statement) -> bool {
         let mut ok = true;
         fn walk(e: &Expr, ok: &mut bool) {
             match e {
-                Expr::Binary { op, .. }
-                    if matches!(op, BinaryOp::Is | BinaryOp::IsNot | BinaryOp::NullSafeEq) =>
-                {
-                    *ok = false
-                }
+                Expr::Binary {
+                    op: BinaryOp::Is | BinaryOp::IsNot | BinaryOp::NullSafeEq, ..
+                } => *ok = false,
                 Expr::Collate { .. } => *ok = false,
-                Expr::Cast { type_name, .. }
-                    if matches!(
-                        type_name,
-                        TypeName::Unsigned | TypeName::TinyInt | TypeName::Serial | TypeName::Boolean
-                    ) =>
-                {
-                    *ok = false
-                }
+                Expr::Cast {
+                    type_name:
+                        TypeName::Unsigned | TypeName::TinyInt | TypeName::Serial | TypeName::Boolean,
+                    ..
+                } => *ok = false,
                 Expr::Literal(Value::Boolean(_)) => *ok = false,
                 _ => {}
             }
@@ -83,7 +78,10 @@ pub fn is_common_core(stmt: &Statement) -> bool {
         }
         Statement::CreateIndex(ci) => {
             ci.where_clause.is_none()
-                && ci.columns.iter().all(|c| matches!(c.expr, Expr::Column(_)) && c.collation.is_none())
+                && ci
+                    .columns
+                    .iter()
+                    .all(|c| matches!(c.expr, Expr::Column(_)) && c.collation.is_none())
         }
         Statement::Insert(ins) => ins.rows.iter().flatten().all(expr_ok),
         Statement::Update(u) => {
@@ -113,10 +111,8 @@ pub fn run_differential(seed: u64, databases: usize, queries_per_db: usize) -> D
     let mut rng = StdRng::seed_from_u64(seed);
     let mut report = DifferentialReport::default();
     for _ in 0..databases {
-        let mut engines: Vec<Engine> = Dialect::ALL
-            .iter()
-            .map(|d| Engine::with_bugs(*d, BugProfile::all_for(*d)))
-            .collect();
+        let mut engines: Vec<Engine> =
+            Dialect::ALL.iter().map(|d| Engine::with_bugs(*d, BugProfile::all_for(*d))).collect();
         // Generate with the most permissive profile and keep only the common
         // core, mirroring the small shared surface RAGS could exercise.
         let mut scratch = Engine::new(Dialect::Sqlite);
@@ -143,19 +139,17 @@ pub fn run_differential(seed: u64, databases: usize, queries_per_db: usize) -> D
             let local: Vec<VisibleColumn> =
                 columns.iter().filter(|c| c.table == table).cloned().collect();
             let condition = random_expression(&mut rng, &local, Dialect::Postgres, 0);
-            let select = Statement::Select(Query::Select(Select {
+            let select = Statement::Select(Query::Select(Box::new(Select {
                 where_clause: Some(condition),
                 ..Select::star(vec![table])
-            }));
+            })));
             if !is_common_core(&select) {
                 continue;
             }
             report.generated_statements += 1;
             report.common_core_statements += 1;
-            let results: Vec<Option<Vec<Vec<Value>>>> = engines
-                .iter_mut()
-                .map(|e| e.execute(&select).ok().map(|r| r.rows))
-                .collect();
+            let results: Vec<Option<Vec<Vec<Value>>>> =
+                engines.iter_mut().map(|e| e.execute(&select).ok().map(|r| r.rows)).collect();
             let mut sets = results.into_iter().flatten();
             if let Some(first) = sets.next() {
                 report.queries_compared += 1;
@@ -198,7 +192,12 @@ pub struct FuzzerReport {
 /// Runs a SQLsmith-style crash fuzzer for one dialect: random statements,
 /// no oracle beyond "did the process crash or corrupt its database".
 #[must_use]
-pub fn run_fuzzer(dialect: Dialect, seed: u64, databases: usize, queries_per_db: usize) -> FuzzerReport {
+pub fn run_fuzzer(
+    dialect: Dialect,
+    seed: u64,
+    databases: usize,
+    queries_per_db: usize,
+) -> FuzzerReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut report = FuzzerReport::default();
     let error_oracle = ErrorOracle;
@@ -222,10 +221,10 @@ pub fn run_fuzzer(dialect: Dialect, seed: u64, databases: usize, queries_per_db:
             }
             let table = tables[rng.gen_range(0..tables.len())].clone();
             let condition = random_expression(&mut rng, &columns, dialect, 0);
-            let select = Statement::Select(Query::Select(Select {
+            let select = Statement::Select(Query::Select(Box::new(Select {
                 where_clause: Some(condition),
                 ..Select::star(vec![table])
-            }));
+            })));
             report.statements += 1;
             match engine.execute(&select) {
                 Ok(_) => {}

@@ -46,7 +46,13 @@ impl GenConfig {
     /// A small configuration for fast unit tests.
     #[must_use]
     pub fn tiny() -> GenConfig {
-        GenConfig { max_tables: 2, min_rows: 2, max_rows: 5, max_expr_depth: 2, extra_statements: 4 }
+        GenConfig {
+            max_tables: 2,
+            min_rows: 2,
+            max_rows: 5,
+            max_expr_depth: 2,
+            extra_statements: 4,
+        }
     }
 }
 
@@ -67,20 +73,22 @@ pub fn random_value<R: Rng>(rng: &mut R, dialect: Dialect) -> Value {
     match rng.gen_range(0..100) {
         0..=19 => Value::Null,
         20..=44 => Value::Integer(rng.gen_range(-3..=3)),
-        45..=54 => Value::Integer(*[
-            0,
-            1,
-            -1,
-            127,
-            128,
-            -128,
-            2_147_483_647,
-            9_223_372_036_854_775_807,
-            -9_223_372_036_854_775_808,
-            2_851_427_734_582_196_970,
-        ]
-        .choose(rng)
-        .expect("non-empty")),
+        45..=54 => Value::Integer(
+            *[
+                0,
+                1,
+                -1,
+                127,
+                128,
+                -128,
+                2_147_483_647,
+                9_223_372_036_854_775_807,
+                -9_223_372_036_854_775_808,
+                2_851_427_734_582_196_970,
+            ]
+            .choose(rng)
+            .expect("non-empty"),
+        ),
         55..=64 => Value::Real(match rng.gen_range(0..4) {
             0 => 0.5,
             1 => -0.0,
@@ -356,7 +364,12 @@ impl StateGenerator {
     }
 
     /// Generates a random `INSERT` into an existing table.
-    pub fn random_insert<R: Rng>(&self, rng: &mut R, engine: &Engine, table: &str) -> Option<Statement> {
+    pub fn random_insert<R: Rng>(
+        &self,
+        rng: &mut R,
+        engine: &Engine,
+        table: &str,
+    ) -> Option<Statement> {
         let t = engine.database().table(table)?;
         let columns: Vec<String> = t.schema.column_names();
         let chosen: Vec<String> = if rng.gen_bool(0.3) && columns.len() > 1 {
@@ -367,14 +380,21 @@ impl StateGenerator {
         };
         let n_rows = rng.gen_range(1..=4);
         let rows = (0..n_rows)
-            .map(|_| chosen.iter().map(|_| Expr::Literal(random_value(rng, self.dialect))).collect())
+            .map(|_| {
+                chosen.iter().map(|_| Expr::Literal(random_value(rng, self.dialect))).collect()
+            })
             .collect();
         let on_conflict = match rng.gen_range(0..10) {
             0..=6 => OnConflict::Abort,
             7 | 8 => OnConflict::Ignore,
             _ => OnConflict::Replace,
         };
-        Some(Statement::Insert(Insert { table: table.to_owned(), columns: chosen, rows, on_conflict }))
+        Some(Statement::Insert(Insert {
+            table: table.to_owned(),
+            columns: chosen,
+            rows,
+            on_conflict,
+        }))
     }
 
     /// Generates a random `CREATE INDEX` on an existing table.
@@ -437,7 +457,12 @@ impl StateGenerator {
     }
 
     /// Generates a random `UPDATE` or `DELETE` on an existing table.
-    pub fn random_dml<R: Rng>(&self, rng: &mut R, engine: &Engine, table: &str) -> Option<Statement> {
+    pub fn random_dml<R: Rng>(
+        &self,
+        rng: &mut R,
+        engine: &Engine,
+        table: &str,
+    ) -> Option<Statement> {
         let t = engine.database().table(table)?;
         let cols: Vec<VisibleColumn> = t
             .schema
@@ -456,7 +481,8 @@ impl StateGenerator {
             let target = cols.choose(rng)?;
             let assignments =
                 vec![(target.meta.name.clone(), Expr::Literal(random_value(rng, self.dialect)))];
-            let on_conflict = if rng.gen_bool(0.2) { OnConflict::Replace } else { OnConflict::Abort };
+            let on_conflict =
+                if rng.gen_bool(0.2) { OnConflict::Replace } else { OnConflict::Abort };
             Some(Statement::Update(Update {
                 table: table.to_owned(),
                 assignments,

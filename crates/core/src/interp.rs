@@ -15,7 +15,9 @@
 use lancer_engine::Dialect;
 use lancer_sql::ast::expr::{BinaryOp, ColumnRef, Expr, ScalarFunc, TypeName, UnaryOp};
 use lancer_sql::collation::Collation;
-use lancer_sql::value::{real_to_int_saturating, text_integer_prefix, text_numeric_prefix, TriBool, Value};
+use lancer_sql::value::{
+    real_to_int_saturating, text_integer_prefix, text_numeric_prefix, TriBool, Value,
+};
 use lancer_storage::schema::ColumnMeta;
 
 /// One column of the pivot row: where it came from and its value.
@@ -111,7 +113,9 @@ impl Interpreter {
                     UnaryOp::Plus => Ok(v),
                     UnaryOp::Neg => match v {
                         Value::Null => Ok(Value::Null),
-                        Value::Integer(i) => Ok(Value::Integer(i.checked_neg().unwrap_or(i64::MAX))),
+                        Value::Integer(i) => {
+                            Ok(Value::Integer(i.checked_neg().unwrap_or(i64::MAX)))
+                        }
                         Value::Real(r) => Ok(Value::Real(-r)),
                         Value::Boolean(b) => Ok(Value::Integer(-i64::from(b))),
                         other => {
@@ -346,7 +350,12 @@ impl Interpreter {
                 let b = if op == BinaryOp::IsNot { !eq } else { eq };
                 Ok(self.bool_value(b.into()))
             }
-            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => {
                 let lv = self.eval(left, pivot)?;
                 let rv = self.eval(right, pivot)?;
                 let coll = self.comparison_collation(left, right, pivot);
@@ -493,7 +502,8 @@ impl Interpreter {
                     Err(InterpError(format!("invalid input for numeric operator {op}: \"{t}\"")))
                 } else {
                     let r = text_numeric_prefix(t);
-                    if r.fract() == 0.0 && r.abs() < 9.2e18 && !t.contains('.') && !t.contains('e') {
+                    if r.fract() == 0.0 && r.abs() < 9.2e18 && !t.contains('.') && !t.contains('e')
+                    {
                         Ok((Some(text_integer_prefix(t)), r))
                     } else {
                         Ok((None, r))
@@ -533,7 +543,9 @@ impl Interpreter {
                 }
                 Ok(Value::Integer(v.to_integer_lenient().unwrap_or(0)))
             }
-            TypeName::TinyInt => Ok(Value::Integer(v.to_integer_lenient().unwrap_or(0).clamp(-128, 127))),
+            TypeName::TinyInt => {
+                Ok(Value::Integer(v.to_integer_lenient().unwrap_or(0).clamp(-128, 127)))
+            }
             TypeName::Unsigned => {
                 let i = v.to_integer_lenient().unwrap_or(0);
                 Ok(Value::Integer(if i < 0 { i64::MAX } else { i }))

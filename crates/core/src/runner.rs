@@ -222,15 +222,12 @@ impl CampaignReport {
         for f in &self.found {
             let kinds: BTreeSet<StatementKind> = f.statement_kinds.iter().copied().collect();
             for k in kinds {
-                per_kind
-                    .entry(k)
-                    .or_insert_with(|| StatementDistributionRow::new(k))
-                    .containing += 1;
+                per_kind.entry(k).or_insert_with(|| StatementDistributionRow::new(k)).containing +=
+                    1;
             }
             if let Some(last) = f.statement_kinds.last() {
-                let row = per_kind
-                    .entry(*last)
-                    .or_insert_with(|| StatementDistributionRow::new(*last));
+                let row =
+                    per_kind.entry(*last).or_insert_with(|| StatementDistributionRow::new(*last));
                 match f.kind {
                     DetectionKind::Containment => row.triggered_contains += 1,
                     DetectionKind::Error => row.triggered_error += 1,
@@ -242,7 +239,9 @@ impl CampaignReport {
         for r in &mut rows {
             r.fraction = r.containing as f64 / total;
         }
-        rows.sort_by(|a, b| b.fraction.partial_cmp(&a.fraction).unwrap_or(std::cmp::Ordering::Equal));
+        rows.sort_by(|a, b| {
+            b.fraction.partial_cmp(&a.fraction).unwrap_or(std::cmp::Ordering::Equal)
+        });
         rows
     }
 
@@ -410,9 +409,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
             for t in 0..threads {
                 let profile = profile.clone();
                 let config = config.clone();
-                handles.push(scope.spawn(move || {
-                    run_worker(&config, &profile, t as u64, per_thread)
-                }));
+                handles
+                    .push(scope.spawn(move || run_worker(&config, &profile, t as u64, per_thread)));
             }
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
@@ -444,8 +442,13 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
             stats.spurious += 1;
             continue;
         }
-        if !reproduces(config.dialect, &profile, &detection.statements, detection.kind, expected_ref)
-        {
+        if !reproduces(
+            config.dialect,
+            &profile,
+            &detection.statements,
+            detection.kind,
+            expected_ref,
+        ) {
             // Not deterministic enough to analyse (e.g. depends on statement
             // counters); skip rather than misattribute.
             stats.unattributed += 1;

@@ -105,10 +105,7 @@ impl Coverage {
 
     /// Marks a feature point as executed.
     pub fn hit(&mut self, feature: &str) {
-        debug_assert!(
-            ALL_FEATURES.contains(&feature),
-            "unregistered coverage feature: {feature}"
-        );
+        debug_assert!(ALL_FEATURES.contains(&feature), "unregistered coverage feature: {feature}");
         self.hit.insert(feature.to_owned());
     }
 

@@ -160,12 +160,9 @@ impl Dialect {
     #[must_use]
     pub fn supported_types(self) -> Vec<TypeName> {
         match self {
-            Dialect::Sqlite => vec![
-                TypeName::Integer,
-                TypeName::Real,
-                TypeName::Text,
-                TypeName::Blob,
-            ],
+            Dialect::Sqlite => {
+                vec![TypeName::Integer, TypeName::Real, TypeName::Text, TypeName::Blob]
+            }
             Dialect::Mysql => vec![
                 TypeName::Integer,
                 TypeName::TinyInt,

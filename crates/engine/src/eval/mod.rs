@@ -172,8 +172,7 @@ impl<'a> Evaluator<'a> {
                         let coll = self.collation_of(op, schema);
                         for (when, then) in branches {
                             let wv = self.eval(when, schema, row)?;
-                            if self.compare_tri(&base, &wv, coll)
-                                == Some(std::cmp::Ordering::Equal)
+                            if self.compare_tri(&base, &wv, coll) == Some(std::cmp::Ordering::Equal)
                             {
                                 return self.eval(then, schema, row);
                             }
@@ -193,9 +192,9 @@ impl<'a> Evaluator<'a> {
                 }
             }
             Expr::Function { func, args } => self.eval_function(*func, args, schema, row),
-            Expr::Aggregate { .. } => Err(EngineError::semantic(
-                "aggregate functions are not allowed in this context",
-            )),
+            Expr::Aggregate { .. } => {
+                Err(EngineError::semantic("aggregate functions are not allowed in this context"))
+            }
             Expr::Collate { expr, .. } => self.eval(expr, schema, row),
         }
     }
@@ -391,7 +390,12 @@ impl<'a> Evaluator<'a> {
                 let eq = self.values_equal_nullsafe(&lv, &rv, coll);
                 Ok(self.tribool_value(eq.into()))
             }
-            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => {
                 let mut lv = self.eval(left, schema, row)?;
                 let mut rv = self.eval(right, schema, row)?;
                 // Injected fault: INTEGER-affinity column compared against a
@@ -508,7 +512,7 @@ impl<'a> Evaluator<'a> {
             && matches!(lv, Value::Text(_))
         {
             if let Value::Integer(i) = rv {
-                if i.abs() > (1_i64 << 53) {
+                if i.unsigned_abs() > (1_u64 << 53) {
                     let l = lv.to_real_lenient().unwrap_or(0.0);
                     return Ok(Value::Integer(real_to_int_saturating(l - i as f64)));
                 }
@@ -792,7 +796,8 @@ impl<'a> Evaluator<'a> {
                     )))
                 } else {
                     let r = text_numeric_prefix(t);
-                    if r.fract() == 0.0 && r.abs() < 9.2e18 && !t.contains('.') && !t.contains('e') {
+                    if r.fract() == 0.0 && r.abs() < 9.2e18 && !t.contains('.') && !t.contains('e')
+                    {
                         Ok(Num::Int(text_integer_prefix(t)))
                     } else {
                         Ok(Num::Real(r))
@@ -845,9 +850,7 @@ pub fn like_match(pattern: &str, text: &str, case_sensitive: bool) -> bool {
     fn rec(p: &[char], t: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|k| rec(rest, &t[k..]))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|k| rec(rest, &t[k..])),
             Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
             Some((c, rest)) => t.first() == Some(c) && rec(rest, &t[1..]),
         }
@@ -1097,9 +1100,7 @@ pub fn eval_aggregate(
                     }
                     other => {
                         if dialect == Dialect::Postgres {
-                            return Err(EngineError::semantic(
-                                "function sum(text) does not exist",
-                            ));
+                            return Err(EngineError::semantic("function sum(text) does not exist"));
                         }
                         all_int = false;
                         sum_f += other.to_real_lenient().unwrap_or(0.0);
@@ -1203,7 +1204,10 @@ mod tests {
     #[test]
     fn between_and_in() {
         assert_eq!(eval_const(Dialect::Sqlite, "2 BETWEEN 1 AND 3").unwrap(), Value::Integer(1));
-        assert_eq!(eval_const(Dialect::Sqlite, "2 NOT BETWEEN 1 AND 3").unwrap(), Value::Integer(0));
+        assert_eq!(
+            eval_const(Dialect::Sqlite, "2 NOT BETWEEN 1 AND 3").unwrap(),
+            Value::Integer(0)
+        );
         assert_eq!(eval_const(Dialect::Sqlite, "NULL BETWEEN 1 AND 3").unwrap(), Value::Null);
         assert_eq!(eval_const(Dialect::Sqlite, "2 IN (1, 2, 3)").unwrap(), Value::Integer(1));
         assert_eq!(eval_const(Dialect::Sqlite, "5 IN (1, NULL)").unwrap(), Value::Null);
@@ -1242,7 +1246,10 @@ mod tests {
         assert_eq!(eval_const(Dialect::Sqlite, "ABS(-3)").unwrap(), Value::Integer(3));
         assert_eq!(eval_const(Dialect::Sqlite, "LENGTH('abc')").unwrap(), Value::Integer(3));
         assert_eq!(eval_const(Dialect::Sqlite, "COALESCE(NULL, 2)").unwrap(), Value::Integer(2));
-        assert_eq!(eval_const(Dialect::Sqlite, "IFNULL(NULL, 'x')").unwrap(), Value::Text("x".into()));
+        assert_eq!(
+            eval_const(Dialect::Sqlite, "IFNULL(NULL, 'x')").unwrap(),
+            Value::Text("x".into())
+        );
         assert_eq!(eval_const(Dialect::Sqlite, "NULLIF(1, 1)").unwrap(), Value::Null);
         assert_eq!(eval_const(Dialect::Sqlite, "MIN(3, 1, 2)").unwrap(), Value::Integer(1));
         assert_eq!(eval_const(Dialect::Sqlite, "HEX('AB')").unwrap(), Value::Text("4142".into()));
@@ -1252,8 +1259,14 @@ mod tests {
             eval_const(Dialect::Sqlite, "REPLACE('abcabc', 'b', 'x')").unwrap(),
             Value::Text("axcaxc".into())
         );
-        assert_eq!(eval_const(Dialect::Sqlite, "SUBSTR('hello', 2, 3)").unwrap(), Value::Text("ell".into()));
-        assert_eq!(eval_const(Dialect::Sqlite, "SUBSTR('hello', -3)").unwrap(), Value::Text("llo".into()));
+        assert_eq!(
+            eval_const(Dialect::Sqlite, "SUBSTR('hello', 2, 3)").unwrap(),
+            Value::Text("ell".into())
+        );
+        assert_eq!(
+            eval_const(Dialect::Sqlite, "SUBSTR('hello', -3)").unwrap(),
+            Value::Text("llo".into())
+        );
         assert_eq!(eval_const(Dialect::Sqlite, "INSTR('hello', 'll')").unwrap(), Value::Integer(3));
         assert_eq!(eval_const(Dialect::Sqlite, "INSTR('hello', 'z')").unwrap(), Value::Integer(0));
         assert_eq!(eval_const(Dialect::Sqlite, "UPPER('ab')").unwrap(), Value::Text("AB".into()));
@@ -1275,14 +1288,33 @@ mod tests {
     #[test]
     fn aggregates() {
         let vals = vec![Value::Integer(1), Value::Null, Value::Integer(3), Value::Integer(1)];
-        assert_eq!(eval_aggregate(AggFunc::Count, &vals, false, Dialect::Sqlite).unwrap(), Value::Integer(3));
-        assert_eq!(eval_aggregate(AggFunc::Count, &vals, true, Dialect::Sqlite).unwrap(), Value::Integer(2));
-        assert_eq!(eval_aggregate(AggFunc::Sum, &vals, false, Dialect::Sqlite).unwrap(), Value::Integer(5));
-        assert_eq!(eval_aggregate(AggFunc::Min, &vals, false, Dialect::Sqlite).unwrap(), Value::Integer(1));
-        assert_eq!(eval_aggregate(AggFunc::Max, &vals, false, Dialect::Sqlite).unwrap(), Value::Integer(3));
-        assert_eq!(eval_aggregate(AggFunc::Avg, &vals, true, Dialect::Sqlite).unwrap(), Value::Real(2.0));
+        assert_eq!(
+            eval_aggregate(AggFunc::Count, &vals, false, Dialect::Sqlite).unwrap(),
+            Value::Integer(3)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Count, &vals, true, Dialect::Sqlite).unwrap(),
+            Value::Integer(2)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Sum, &vals, false, Dialect::Sqlite).unwrap(),
+            Value::Integer(5)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Min, &vals, false, Dialect::Sqlite).unwrap(),
+            Value::Integer(1)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Max, &vals, false, Dialect::Sqlite).unwrap(),
+            Value::Integer(3)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Avg, &vals, true, Dialect::Sqlite).unwrap(),
+            Value::Real(2.0)
+        );
         assert_eq!(eval_aggregate(AggFunc::Sum, &[], false, Dialect::Sqlite).unwrap(), Value::Null);
-        assert!(eval_aggregate(AggFunc::Sum, &[Value::Text("a".into())], false, Dialect::Postgres).is_err());
+        assert!(eval_aggregate(AggFunc::Sum, &[Value::Text("a".into())], false, Dialect::Postgres)
+            .is_err());
     }
 
     #[test]

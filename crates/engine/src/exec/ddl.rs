@@ -100,9 +100,7 @@ impl Engine {
         let mut exprs = Vec::new();
         let mut collations = Vec::new();
         for c in columns {
-            let meta = schema
-                .column(c)
-                .ok_or_else(|| StorageError::NoSuchColumn(c.clone()))?;
+            let meta = schema.column(c).ok_or_else(|| StorageError::NoSuchColumn(c.clone()))?;
             exprs.push(Expr::col(meta.name.clone()));
             collations.push(meta.collation);
         }
@@ -182,7 +180,9 @@ impl Engine {
         let ev = self.evaluator();
         for col in &ci.columns {
             for cref in col.expr.column_refs() {
-                if row_schema.resolve(cref).is_none() && self.dialect() != crate::dialect::Dialect::Sqlite {
+                if row_schema.resolve(cref).is_none()
+                    && self.dialect() != crate::dialect::Dialect::Sqlite
+                {
                     return Err(StorageError::NoSuchColumn(cref.column.clone()).into());
                 }
             }
@@ -213,7 +213,11 @@ impl Engine {
         Ok(QueryResult::empty())
     }
 
-    pub(crate) fn exec_create_view(&mut self, name: &str, query: &Select) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_create_view(
+        &mut self,
+        name: &str,
+        query: &Select,
+    ) -> EngineResult<QueryResult> {
         self.cover("stmt.create_view");
         // Validate the defining query by executing it once.
         self.exec_select(query)?;
@@ -221,7 +225,11 @@ impl Engine {
         Ok(QueryResult::empty())
     }
 
-    pub(crate) fn exec_drop_table(&mut self, name: &str, if_exists: bool) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_drop_table(
+        &mut self,
+        name: &str,
+        if_exists: bool,
+    ) -> EngineResult<QueryResult> {
         self.cover("stmt.drop_table");
         if if_exists && self.db.table(name).is_none() {
             return Ok(QueryResult::empty());
@@ -233,7 +241,11 @@ impl Engine {
         Ok(QueryResult::empty())
     }
 
-    pub(crate) fn exec_drop_index(&mut self, name: &str, if_exists: bool) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_drop_index(
+        &mut self,
+        name: &str,
+        if_exists: bool,
+    ) -> EngineResult<QueryResult> {
         self.cover("stmt.drop_index");
         if if_exists && self.db.index(name).is_none() {
             return Ok(QueryResult::empty());
@@ -242,7 +254,11 @@ impl Engine {
         Ok(QueryResult::empty())
     }
 
-    pub(crate) fn exec_drop_view(&mut self, name: &str, if_exists: bool) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_drop_view(
+        &mut self,
+        name: &str,
+        if_exists: bool,
+    ) -> EngineResult<QueryResult> {
         self.cover("stmt.drop_view");
         if if_exists && self.db.view(name).is_none() {
             return Ok(QueryResult::empty());
@@ -327,9 +343,7 @@ impl Engine {
                 let mut fill = meta.default.clone().unwrap_or(Value::Null);
                 // Injected fault: the DEFAULT fill is skipped for NOT NULL
                 // columns, leaving NULLs that REINDEX later reports.
-                if meta.not_null
-                    && self.bugs().is_enabled(BugId::SqliteNotNullDefaultAltered)
-                {
+                if meta.not_null && self.bugs().is_enabled(BugId::SqliteNotNullDefaultAltered) {
                     fill = Value::Null;
                 }
                 let t = self.db.require_table_mut(table)?;

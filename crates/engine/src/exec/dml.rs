@@ -35,11 +35,7 @@ impl Engine {
     }
 
     /// Checks NOT NULL and CHECK constraints for a candidate row.
-    fn check_row_constraints(
-        &self,
-        schema: &TableSchema,
-        values: &[Value],
-    ) -> EngineResult<()> {
+    fn check_row_constraints(&self, schema: &TableSchema, values: &[Value]) -> EngineResult<()> {
         let row_schema = RowSchema::single(SourceSchema {
             name: schema.name.clone(),
             columns: schema.columns.clone(),
@@ -112,8 +108,7 @@ impl Engine {
             .indexes_on(&schema.name)
             .iter()
             .map(|idx| {
-                self.index_key_for_row(&idx.def, schema, values)
-                    .map(|k| (idx.def.name.clone(), k))
+                self.index_key_for_row(&idx.def, schema, values).map(|k| (idx.def.name.clone(), k))
             })
             .collect::<EngineResult<_>>()?;
         for (name, key) in keys {
@@ -170,7 +165,6 @@ impl Engine {
             for e in row_exprs {
                 supplied.push(ev.eval(e, &ev_schema, &[])?);
             }
-            drop(ev);
             // Assemble the full row with defaults / serial values.
             let mut values: Vec<Value> = Vec::with_capacity(schema.columns.len());
             for (ci, col) in schema.columns.iter().enumerate() {
@@ -267,7 +261,8 @@ impl Engine {
             matching
         };
         let stale_indexes = self.bugs().is_enabled(BugId::SqliteIndexStaleAfterUpdate);
-        let real_pk_corruption = self.bugs().is_enabled(BugId::SqliteRealPrimaryKeyUpdateCorruption);
+        let real_pk_corruption =
+            self.bugs().is_enabled(BugId::SqliteRealPrimaryKeyUpdateCorruption);
         let replace_null_corruption =
             self.bugs().is_enabled(BugId::SqliteUpdateOrReplaceDeletesTooMany);
         let mut affected = 0usize;
@@ -430,7 +425,9 @@ fn apply_sqlite_affinity(value: Value, affinity: Affinity) -> Value {
 /// MySQL-style lenient but typed conversion.
 fn apply_mysql_type(value: Value, col: &ColumnMeta) -> EngineResult<Value> {
     match col.type_name {
-        Some(TypeName::Integer) | None => Ok(Value::Integer(value.to_integer_lenient().unwrap_or(0))),
+        Some(TypeName::Integer) | None => {
+            Ok(Value::Integer(value.to_integer_lenient().unwrap_or(0)))
+        }
         Some(TypeName::TinyInt) => {
             Ok(Value::Integer(value.to_integer_lenient().unwrap_or(0).clamp(-128, 127)))
         }

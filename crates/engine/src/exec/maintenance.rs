@@ -47,9 +47,9 @@ impl Engine {
             && self.like_pragma_changed
         {
             let like_index = self.db.index_names().into_iter().find(|n| {
-                self.db.index(n).is_some_and(|i| {
-                    i.def.exprs.iter().any(|e| matches!(e, Expr::Like { .. }))
-                })
+                self.db
+                    .index(n)
+                    .is_some_and(|i| i.def.exprs.iter().any(|e| matches!(e, Expr::Like { .. })))
             });
             if let Some(name) = like_index {
                 return Err(EngineError::corruption(format!(
@@ -168,12 +168,8 @@ impl Engine {
                         *slot = rebuilt;
                     }
                 } else if self.db.table(name).is_some() {
-                    let names: Vec<String> = self
-                        .db
-                        .indexes_on(name)
-                        .iter()
-                        .map(|i| i.def.name.clone())
-                        .collect();
+                    let names: Vec<String> =
+                        self.db.indexes_on(name).iter().map(|i| i.def.name.clone()).collect();
                     for n in names {
                         let def = self.db.index(&n).expect("listed").def.clone();
                         let rebuilt = self.build_index(def)?;
@@ -183,7 +179,9 @@ impl Engine {
                         }
                     }
                 } else {
-                    return Err(EngineError::semantic(format!("unable to identify the object to be reindexed: {name}")));
+                    return Err(EngineError::semantic(format!(
+                        "unable to identify the object to be reindexed: {name}"
+                    )));
                 }
             }
             None => self.rebuild_all_indexes()?,
@@ -279,7 +277,11 @@ impl Engine {
             }
             None => {
                 let current = self.db.option(name).cloned().unwrap_or(Value::Null);
-                Ok(QueryResult { columns: vec![name.to_owned()], rows: vec![vec![current]], affected: 0 })
+                Ok(QueryResult {
+                    columns: vec![name.to_owned()],
+                    rows: vec![vec![current]],
+                    affected: 0,
+                })
             }
         }
     }
@@ -295,7 +297,7 @@ impl Engine {
         if self.dialect == Dialect::Mysql
             && self.bugs().is_enabled(BugId::MysqlSetOptionNondeterministicError)
             && name.eq_ignore_ascii_case("key_cache_division_limit")
-            && self.statements_executed % 2 == 0
+            && self.statements_executed.is_multiple_of(2)
         {
             return Err(EngineError::semantic("ERROR 1210 (HY000): Incorrect arguments to SET"));
         }

@@ -40,9 +40,9 @@ impl QueryResult {
     /// containment oracle performs client-side).
     #[must_use]
     pub fn contains_row(&self, row: &[Value]) -> bool {
-        self.rows.iter().any(|r| {
-            r.len() == row.len() && r.iter().zip(row.iter()).all(|(a, b)| a.same_as(b))
-        })
+        self.rows
+            .iter()
+            .any(|r| r.len() == row.len() && r.iter().zip(row.iter()).all(|(a, b)| a.same_as(b)))
     }
 }
 
@@ -144,8 +144,8 @@ impl Engine {
     /// Returns parse errors as semantic [`EngineError`]s and execution errors
     /// unchanged.
     pub fn execute_sql(&mut self, sql: &str) -> EngineResult<QueryResult> {
-        let stmt =
-            parse_statement(sql).map_err(|e| EngineError::semantic(format!("syntax error: {e}")))?;
+        let stmt = parse_statement(sql)
+            .map_err(|e| EngineError::semantic(format!("syntax error: {e}")))?;
         self.execute(&stmt)
     }
 
@@ -204,7 +204,9 @@ impl Engine {
             Statement::Vacuum { full } => self.exec_vacuum(*full),
             Statement::Reindex { target } => self.exec_reindex(target.as_deref()),
             Statement::Analyze { target } => self.exec_analyze(target.as_deref()),
-            Statement::CheckTable { table, for_upgrade } => self.exec_check_table(table, *for_upgrade),
+            Statement::CheckTable { table, for_upgrade } => {
+                self.exec_check_table(table, *for_upgrade)
+            }
             Statement::RepairTable { table } => self.exec_repair_table(table),
             Statement::Pragma { name, value } => self.exec_pragma(name, value.as_ref()),
             Statement::Set { scope: _, name, value } => self.exec_set(name, value),

@@ -212,9 +212,8 @@ impl Engine {
             });
             if has_stats && has_expr_index {
                 if let Some(w) = &s.where_clause {
-                    let has_and = expr_contains(w, &|e| {
-                        matches!(e, Expr::Binary { op: BinaryOp::And, .. })
-                    });
+                    let has_and =
+                        expr_contains(w, &|e| matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
                     let has_or =
                         expr_contains(w, &|e| matches!(e, Expr::Binary { op: BinaryOp::Or, .. }));
                     if has_or && self.bugs().is_enabled(BugId::PostgresStatisticsCrashDuplicate) {
@@ -222,12 +221,9 @@ impl Engine {
                             "server process terminated by signal 11: segmentation fault",
                         ));
                     }
-                    if has_and
-                        && self.bugs().is_enabled(BugId::PostgresStatisticsNegativeBitmapset)
+                    if has_and && self.bugs().is_enabled(BugId::PostgresStatisticsNegativeBitmapset)
                     {
-                        return Err(EngineError::internal(
-                            "negative bitmapset member not allowed",
-                        ));
+                        return Err(EngineError::internal("negative bitmapset member not allowed"));
                     }
                 }
             }
@@ -242,9 +238,9 @@ impl Engine {
                             .db
                             .table(table)
                             .map(|t| {
-                                t.schema.column_index(&col.column).is_some_and(|ci| {
-                                    t.rows().any(|r| r.values[ci].is_null())
-                                })
+                                t.schema
+                                    .column_index(&col.column)
+                                    .is_some_and(|ci| t.rows().any(|r| r.values[ci].is_null()))
                             })
                             .unwrap_or(false);
                         let has_range = expr_contains(w, &|e| {
@@ -297,9 +293,8 @@ impl Engine {
         {
             for src in &mut sources {
                 if src.memory_engine {
-                    src.rows.retain(|r| {
-                        !r.iter().any(|v| matches!(v, Value::Integer(i) if *i < 0))
-                    });
+                    src.rows
+                        .retain(|r| !r.iter().any(|v| matches!(v, Value::Integer(i) if *i < 0)));
                 }
             }
         }
@@ -361,7 +356,7 @@ impl Engine {
                         }
                         if !matched {
                             let mut combined = l.clone();
-                            combined.extend(std::iter::repeat(Value::Null).take(right_width));
+                            combined.extend(std::iter::repeat_n(Value::Null, right_width));
                             next.push(combined);
                         }
                     }
@@ -435,8 +430,8 @@ impl Engine {
                 .map(|(_, new, old)| (new.clone(), old.clone()))
                 .collect();
             for (new_name, old_name) in poisons {
-                if let Some((ci, _)) = schema
-                    .resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&new_name))
+                if let Some((ci, _)) =
+                    schema.resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&new_name))
                 {
                     for r in &mut rows {
                         r[ci] = Value::Text(old_name.to_ascii_uppercase());
@@ -473,7 +468,10 @@ impl Engine {
             }
             projected.sort_by(|a, b| {
                 for (i, term) in s.order_by.iter().enumerate() {
-                    let (av, bv) = match (a.get(i.min(a.len().saturating_sub(1))), b.get(i.min(b.len().saturating_sub(1)))) {
+                    let (av, bv) = match (
+                        a.get(i.min(a.len().saturating_sub(1))),
+                        b.get(i.min(b.len().saturating_sub(1))),
+                    ) {
                         (Some(x), Some(y)) => (x, y),
                         _ => continue,
                     };
@@ -542,8 +540,9 @@ impl Engine {
                 .entries()
                 .iter()
                 .filter(|e| {
-                    e.key.first().is_some_and(|k| k.total_cmp(&probe, Collation::Binary)
-                        == std::cmp::Ordering::Equal)
+                    e.key.first().is_some_and(|k| {
+                        k.total_cmp(&probe, Collation::Binary) == std::cmp::Ordering::Equal
+                    })
                 })
                 .map(|e| e.row_id)
                 .collect()
@@ -709,7 +708,7 @@ impl Engine {
                         if let Some(first) = group.first() {
                             out_row.extend(first.iter().cloned());
                         } else {
-                            out_row.extend(std::iter::repeat(Value::Null).take(schema.width()));
+                            out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
                         }
                     }
                     SelectItem::Expr { expr, .. } => {
@@ -726,7 +725,7 @@ impl Engine {
             for item in &s.items {
                 match item {
                     SelectItem::Wildcard => {
-                        out_row.extend(std::iter::repeat(Value::Null).take(schema.width()));
+                        out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
                     }
                     SelectItem::Expr { expr, .. } => {
                         out_row.push(self.eval_aggregate_expr(expr, schema, &[])?);
@@ -752,10 +751,9 @@ impl Engine {
             Expr::Aggregate { func, arg, distinct } => {
                 let values: Vec<Value> = match arg {
                     None => group.iter().map(|_| Value::Integer(1)).collect(),
-                    Some(a) => group
-                        .iter()
-                        .map(|r| ev.eval(a, schema, r))
-                        .collect::<EngineResult<_>>()?,
+                    Some(a) => {
+                        group.iter().map(|r| ev.eval(a, schema, r)).collect::<EngineResult<_>>()?
+                    }
                 };
                 eval_aggregate(*func, &values, *distinct, self.dialect())
             }
@@ -840,8 +838,7 @@ impl Engine {
 }
 
 fn contains(rows: &[Vec<Value>], row: &[Value]) -> bool {
-    rows.iter()
-        .any(|r| r.len() == row.len() && r.iter().zip(row.iter()).all(|(a, b)| a.same_as(b)))
+    rows.iter().any(|r| r.len() == row.len() && r.iter().zip(row.iter()).all(|(a, b)| a.same_as(b)))
 }
 
 fn cross_product(left: &[Vec<Value>], right: &[Vec<Value>]) -> Vec<Vec<Value>> {
@@ -878,11 +875,13 @@ fn expr_references_column(expr: &Expr, column: &str) -> bool {
 /// the column name.
 fn find_is_not_literal_column(expr: &Expr) -> Option<String> {
     match expr {
-        Expr::Binary { op: BinaryOp::IsNot, left, right } => match (left.as_ref(), right.as_ref()) {
-            (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => Some(c.column.clone()),
-            (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => Some(c.column.clone()),
-            _ => None,
-        },
+        Expr::Binary { op: BinaryOp::IsNot, left, right } => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => Some(c.column.clone()),
+                (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => Some(c.column.clone()),
+                _ => None,
+            }
+        }
         Expr::Binary { op: BinaryOp::And, left, right } => {
             find_is_not_literal_column(left).or_else(|| find_is_not_literal_column(right))
         }
@@ -933,10 +932,9 @@ fn rewrite_like_int_affinity(expr: &Expr, schema: &RowSchema) -> Expr {
             left: Box::new(rewrite_like_int_affinity(left, schema)),
             right: Box::new(rewrite_like_int_affinity(right, schema)),
         },
-        Expr::Unary { op, expr: inner } => Expr::Unary {
-            op: *op,
-            expr: Box::new(rewrite_like_int_affinity(inner, schema)),
-        },
+        Expr::Unary { op, expr: inner } => {
+            Expr::Unary { op: *op, expr: Box::new(rewrite_like_int_affinity(inner, schema)) }
+        }
         other => other.clone(),
     }
 }
@@ -1017,14 +1015,16 @@ mod tests {
         .unwrap();
         let r = e.execute_sql("SELECT DISTINCT c0, c1 FROM t0").unwrap();
         assert_eq!(r.rows.len(), 3);
-        let r = e.execute_sql("SELECT COUNT(*), SUM(c0), MIN(c0), MAX(c0), AVG(c0) FROM t0").unwrap();
+        let r =
+            e.execute_sql("SELECT COUNT(*), SUM(c0), MIN(c0), MAX(c0), AVG(c0) FROM t0").unwrap();
         assert_eq!(r.rows[0][0], Value::Integer(4));
         assert_eq!(r.rows[0][1], Value::Integer(4));
         assert_eq!(r.rows[0][2], Value::Integer(1));
         assert_eq!(r.rows[0][3], Value::Integer(2));
         let r = e.execute_sql("SELECT c1, COUNT(*) FROM t0 GROUP BY c1").unwrap();
         assert_eq!(r.rows.len(), 2);
-        let r = e.execute_sql("SELECT c1, COUNT(*) FROM t0 GROUP BY c1 HAVING COUNT(*) > 1").unwrap();
+        let r =
+            e.execute_sql("SELECT c1, COUNT(*) FROM t0 GROUP BY c1 HAVING COUNT(*) > 1").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][1], Value::Integer(3));
         let r = e.execute_sql("SELECT COUNT(*) FROM t0 WHERE c0 > 100").unwrap();
@@ -1113,7 +1113,9 @@ mod tests {
         )
         .unwrap();
         let r = e
-            .execute_sql("SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED)) > (IFNULL('u', t0.c0))")
+            .execute_sql(
+                "SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED)) > (IFNULL('u', t0.c0))",
+            )
             .unwrap();
         assert!(r.rows.is_empty(), "the fault drops the negative MEMORY-engine row");
         // Without the fault the row is fetched.
@@ -1169,9 +1171,8 @@ mod tests {
              CREATE INDEX i0 ON t0((t0.c1 AND t0.c1));",
         )
         .unwrap();
-        let err = e
-            .execute_sql("SELECT t0.c0 FROM t0 WHERE (t0.c1 AND t0.c1) OR FALSE")
-            .unwrap_err();
+        let err =
+            e.execute_sql("SELECT t0.c0 FROM t0 WHERE (t0.c1 AND t0.c1) OR FALSE").unwrap_err();
         assert!(err.message.contains("negative bitmapset member"), "{}", err.message);
     }
 

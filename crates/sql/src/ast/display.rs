@@ -513,10 +513,7 @@ mod tests {
                 descending: false,
             }],
             unique: false,
-            where_clause: Some(Expr::IsNull {
-                negated: true,
-                expr: Box::new(Expr::col("c0")),
-            }),
+            where_clause: Some(Expr::IsNull { negated: true, expr: Box::new(Expr::col("c0")) }),
             if_not_exists: false,
         });
         assert_eq!(ci.to_string(), "CREATE INDEX i0 ON t0(1) WHERE (c0 IS NOT NULL)");
@@ -578,8 +575,11 @@ mod tests {
     #[test]
     fn renders_options_and_maintenance() {
         assert_eq!(
-            Statement::Pragma { name: "case_sensitive_like".into(), value: Some(Value::Integer(0)) }
-                .to_string(),
+            Statement::Pragma {
+                name: "case_sensitive_like".into(),
+                value: Some(Value::Integer(0))
+            }
+            .to_string(),
             "PRAGMA case_sensitive_like = 0"
         );
         assert_eq!(
@@ -601,10 +601,7 @@ mod tests {
 
     #[test]
     fn script_rendering_appends_semicolons() {
-        let script = render_script(&[
-            Statement::Begin,
-            Statement::Commit,
-        ]);
+        let script = render_script(&[Statement::Begin, Statement::Commit]);
         assert_eq!(script, "BEGIN;\nCOMMIT;\n");
     }
 }

@@ -465,6 +465,10 @@ impl Expr {
     }
 
     /// Wraps the expression in a `NOT`.
+    ///
+    /// A builder, not a logic operator — the AST builder API reads as
+    /// `expr.not()`, so the trait-method name collision is intentional.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> Expr {
         Expr::Unary { op: UnaryOp::Not, expr: Box::new(self) }
@@ -612,7 +616,11 @@ mod tests {
         let e = Expr::Function {
             func: ScalarFunc::Coalesce,
             args: vec![
-                Expr::Aggregate { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("c0"))), distinct: false },
+                Expr::Aggregate {
+                    func: AggFunc::Sum,
+                    arg: Some(Box::new(Expr::col("c0"))),
+                    distinct: false,
+                },
                 Expr::int(0),
             ],
         };

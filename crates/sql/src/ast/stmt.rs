@@ -374,8 +374,8 @@ pub enum CompoundOp {
 /// A query: either a simple `SELECT` or a compound of two queries.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Query {
-    /// A plain `SELECT`.
-    Select(Select),
+    /// A plain `SELECT` (boxed: `Select` is by far the largest payload).
+    Select(Box<Select>),
     /// `left <op> right`.
     Compound {
         /// Left operand.
@@ -391,7 +391,7 @@ impl Query {
     /// Wraps a `SELECT` body.
     #[must_use]
     pub fn select(select: Select) -> Query {
-        Query::Select(select)
+        Query::Select(Box::new(select))
     }
 
     /// Builds `left INTERSECT right`.
@@ -638,7 +638,10 @@ mod tests {
             value: Value::Integer(100),
         };
         assert_eq!(set.kind(), StatementKind::Option);
-        let pragma = Statement::Pragma { name: "case_sensitive_like".into(), value: Some(Value::Integer(0)) };
+        let pragma = Statement::Pragma {
+            name: "case_sensitive_like".into(),
+            value: Some(Value::Integer(0)),
+        };
         assert_eq!(pragma.kind(), StatementKind::Option);
         assert_eq!(Statement::Discard.kind().label(), "DISCARD");
         assert_eq!(

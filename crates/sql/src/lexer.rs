@@ -236,9 +236,7 @@ pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
                 tokens.push(Token::QuotedIdent(s));
                 i = next;
             }
-            b'x' | b'X'
-                if i + 1 < bytes.len() && bytes[i + 1] == b'\'' =>
-            {
+            b'x' | b'X' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
                 let (s, next) = lex_single_quoted(input, i + 1)?;
                 let mut blob = Vec::new();
                 let hex = s.as_bytes();
@@ -392,8 +390,7 @@ fn lex_number(input: &str, start: usize) -> ParseResult<(Token, usize)> {
     }
     let text = &input[start..i];
     if is_real {
-        let v: f64 =
-            text.parse().map_err(|_| ParseError::at("invalid real literal", start))?;
+        let v: f64 = text.parse().map_err(|_| ParseError::at("invalid real literal", start))?;
         Ok((Token::Real(v), i))
     } else {
         match text.parse::<i64>() {

@@ -351,8 +351,9 @@ impl Parser {
                 return Ok(Expr::Aggregate { func: agg, arg: Some(Box::new(arg)), distinct });
             }
             // Multi-argument MIN/MAX are scalar functions in SQLite.
-            let func = ScalarFunc::parse(name)
-                .ok_or_else(|| ParseError::new(format!("{name} does not accept multiple arguments")))?;
+            let func = ScalarFunc::parse(name).ok_or_else(|| {
+                ParseError::new(format!("{name} does not accept multiple arguments"))
+            })?;
             let mut args = vec![arg];
             loop {
                 args.push(self.parse_expr()?);
@@ -462,7 +463,9 @@ mod tests {
     #[test]
     fn parses_functions_and_aggregates() {
         let e = parse_expression("IFNULL('u', t0.c0)").unwrap();
-        assert!(matches!(e, Expr::Function { func: ScalarFunc::IfNull, ref args } if args.len() == 2));
+        assert!(
+            matches!(e, Expr::Function { func: ScalarFunc::IfNull, ref args } if args.len() == 2)
+        );
         let e = parse_expression("COUNT(*)").unwrap();
         assert!(matches!(e, Expr::Aggregate { func: AggFunc::Count, arg: None, .. }));
         let e = parse_expression("SUM(DISTINCT c0)").unwrap();

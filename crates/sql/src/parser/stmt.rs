@@ -2,9 +2,9 @@
 
 use crate::ast::expr::Expr;
 use crate::ast::stmt::{
-    AlterTable, ColumnConstraint, ColumnDef, CompoundOp, CreateIndex, CreateTable, Delete, Insert,
-    IndexedColumn, Join, JoinKind, OnConflict, OrderingTerm, Query, Select, SelectItem, SetScope,
-    Statement, TableConstraint, TableEngine, Update,
+    AlterTable, ColumnConstraint, ColumnDef, CompoundOp, CreateIndex, CreateTable, Delete,
+    IndexedColumn, Insert, Join, JoinKind, OnConflict, OrderingTerm, Query, Select, SelectItem,
+    SetScope, Statement, TableConstraint, TableEngine, Update,
 };
 use crate::collation::Collation;
 use crate::error::{ParseError, ParseResult};
@@ -15,10 +15,7 @@ use crate::value::Value;
 impl Parser {
     /// Parses a single statement.
     pub(crate) fn parse_statement(&mut self) -> ParseResult<Statement> {
-        let first = self
-            .peek()
-            .cloned()
-            .ok_or_else(|| ParseError::new("empty statement"))?;
+        let first = self.peek().cloned().ok_or_else(|| ParseError::new("empty statement"))?;
         let word = match &first {
             Token::Ident(w) => w.to_ascii_uppercase(),
             other => return Err(ParseError::new(format!("unexpected token {other:?}"))),
@@ -75,11 +72,8 @@ impl Parser {
             "PRAGMA" => {
                 self.advance();
                 let name = self.expect_ident()?;
-                let value = if self.eat(&Token::Eq) {
-                    Some(self.parse_option_value()?)
-                } else {
-                    None
-                };
+                let value =
+                    if self.eat(&Token::Eq) { Some(self.parse_option_value()?) } else { None };
                 Ok(Statement::Pragma { name, value })
             }
             "SET" => {
@@ -125,7 +119,9 @@ impl Parser {
             Some(Token::Minus) => match self.advance().cloned() {
                 Some(Token::Integer(i)) => Ok(Value::Integer(-i)),
                 Some(Token::Real(r)) => Ok(Value::Real(-r)),
-                other => Err(ParseError::new(format!("expected number after '-', found {other:?}"))),
+                other => {
+                    Err(ParseError::new(format!("expected number after '-', found {other:?}")))
+                }
             },
             Some(Token::Ident(w)) => {
                 let upper = w.to_ascii_uppercase();
@@ -199,13 +195,15 @@ impl Parser {
                 let cols = self.parse_ident_list()?;
                 self.expect(&Token::RParen)?;
                 constraints.push(TableConstraint::PrimaryKey(cols));
-            } else if self.peek_keyword("UNIQUE") && matches!(self.peek_nth(1), Some(Token::LParen)) {
+            } else if self.peek_keyword("UNIQUE") && matches!(self.peek_nth(1), Some(Token::LParen))
+            {
                 self.advance();
                 self.expect(&Token::LParen)?;
                 let cols = self.parse_ident_list()?;
                 self.expect(&Token::RParen)?;
                 constraints.push(TableConstraint::Unique(cols));
-            } else if self.peek_keyword("CHECK") && matches!(self.peek_nth(1), Some(Token::LParen)) {
+            } else if self.peek_keyword("CHECK") && matches!(self.peek_nth(1), Some(Token::LParen))
+            {
                 self.advance();
                 self.expect(&Token::LParen)?;
                 let e = self.parse_expr()?;
@@ -346,8 +344,7 @@ impl Parser {
             }
         }
         self.expect(&Token::RParen)?;
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
         Ok(Statement::CreateIndex(CreateIndex {
             name,
             table,
@@ -470,8 +467,7 @@ impl Parser {
                 break;
             }
         }
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
         Ok(Statement::Update(Update { table, assignments, where_clause, on_conflict }))
     }
 
@@ -479,15 +475,14 @@ impl Parser {
         self.expect_keyword("DELETE")?;
         self.expect_keyword("FROM")?;
         let table = self.expect_ident()?;
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
         Ok(Statement::Delete(Delete { table, where_clause }))
     }
 
     /// Parses a query, handling compound set operators.
     pub(crate) fn parse_query(&mut self) -> ParseResult<Query> {
         let first = self.parse_select()?;
-        let mut q = Query::Select(first);
+        let mut q = Query::Select(Box::new(first));
         loop {
             let op = if self.eat_keyword("INTERSECT") {
                 CompoundOp::Intersect
@@ -503,7 +498,11 @@ impl Parser {
                 break;
             };
             let right = self.parse_select()?;
-            q = Query::Compound { left: Box::new(q), op, right: Box::new(Query::Select(right)) };
+            q = Query::Compound {
+                left: Box::new(q),
+                op,
+                right: Box::new(Query::Select(Box::new(right))),
+            };
         }
         Ok(q)
     }
@@ -522,11 +521,7 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_keyword("AS") {
-                    Some(self.expect_ident()?)
-                } else {
-                    None
-                };
+                let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if !self.eat(&Token::Comma) {
@@ -564,15 +559,15 @@ impl Parser {
                 match kind {
                     Some(kind) => {
                         let table = self.expect_ident()?;
-                        let on = if self.eat_keyword("ON") { Some(self.parse_expr()?) } else { None };
+                        let on =
+                            if self.eat_keyword("ON") { Some(self.parse_expr()?) } else { None };
                         joins.push(Join { kind, table, on });
                     }
                     None => break,
                 }
             }
         }
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -604,7 +599,9 @@ impl Parser {
         let limit = if self.eat_keyword("LIMIT") {
             match self.advance() {
                 Some(Token::Integer(i)) if *i >= 0 => Some(*i as u64),
-                other => return Err(ParseError::new(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(ParseError::new(format!("expected LIMIT count, found {other:?}")))
+                }
             }
         } else {
             None
@@ -612,7 +609,9 @@ impl Parser {
         let offset = if self.eat_keyword("OFFSET") {
             match self.advance() {
                 Some(Token::Integer(i)) if *i >= 0 => Some(*i as u64),
-                other => return Err(ParseError::new(format!("expected OFFSET count, found {other:?}"))),
+                other => {
+                    return Err(ParseError::new(format!("expected OFFSET count, found {other:?}")))
+                }
             }
         } else {
             None
@@ -647,7 +646,9 @@ mod tests {
         ";
         let stmts = parse_script(script).unwrap();
         assert_eq!(stmts.len(), 4);
-        assert!(matches!(&stmts[0], Statement::CreateTable(ct) if ct.columns.len() == 1 && ct.columns[0].type_name.is_none()));
+        assert!(
+            matches!(&stmts[0], Statement::CreateTable(ct) if ct.columns.len() == 1 && ct.columns[0].type_name.is_none())
+        );
         assert!(matches!(&stmts[1], Statement::CreateIndex(ci) if ci.where_clause.is_some()));
         assert!(matches!(&stmts[2], Statement::Insert(i) if i.rows.len() == 5));
         assert!(matches!(&stmts[3], Statement::Select(_)));
@@ -696,7 +697,9 @@ mod tests {
              SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED)) > (IFNULL('u', t0.c0));",
         )
         .unwrap();
-        assert!(matches!(&stmts[0], Statement::CreateTable(ct) if ct.engine == TableEngine::Memory));
+        assert!(
+            matches!(&stmts[0], Statement::CreateTable(ct) if ct.engine == TableEngine::Memory)
+        );
         assert!(matches!(&stmts[1], Statement::Select(_)));
     }
 
@@ -708,7 +711,9 @@ mod tests {
              SELECT c0, c1 FROM t0 GROUP BY c0, c1;",
         )
         .unwrap();
-        assert!(matches!(&stmts[0], Statement::CreateTable(ct) if ct.inherits.as_deref() == Some("t0")));
+        assert!(
+            matches!(&stmts[0], Statement::CreateTable(ct) if ct.inherits.as_deref() == Some("t0"))
+        );
         assert!(
             matches!(&stmts[1], Statement::CreateStatistics { columns, .. } if columns.len() == 2)
         );
@@ -724,9 +729,7 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(&stmts[0], Statement::Update(u) if u.on_conflict == OnConflict::Replace));
-        assert!(
-            matches!(&stmts[1], Statement::Pragma { value: Some(Value::Integer(0)), .. })
-        );
+        assert!(matches!(&stmts[1], Statement::Pragma { value: Some(Value::Integer(0)), .. }));
         assert!(matches!(&stmts[2], Statement::Set { scope: SetScope::Global, .. }));
     }
 
@@ -764,7 +767,10 @@ mod tests {
 
     #[test]
     fn parses_maintenance_statements() {
-        assert!(matches!(parse_statement("VACUUM FULL").unwrap(), Statement::Vacuum { full: true }));
+        assert!(matches!(
+            parse_statement("VACUUM FULL").unwrap(),
+            Statement::Vacuum { full: true }
+        ));
         assert!(matches!(parse_statement("REINDEX").unwrap(), Statement::Reindex { target: None }));
         assert!(
             matches!(parse_statement("ANALYZE t1").unwrap(), Statement::Analyze { target: Some(t) } if t == "t1")
@@ -773,7 +779,10 @@ mod tests {
             parse_statement("CHECK TABLE t0 FOR UPGRADE").unwrap(),
             Statement::CheckTable { for_upgrade: true, .. }
         ));
-        assert!(matches!(parse_statement("REPAIR TABLE t0").unwrap(), Statement::RepairTable { .. }));
+        assert!(matches!(
+            parse_statement("REPAIR TABLE t0").unwrap(),
+            Statement::RepairTable { .. }
+        ));
         assert!(matches!(parse_statement("DISCARD ALL").unwrap(), Statement::Discard));
     }
 
@@ -803,10 +812,7 @@ mod tests {
             parse_statement("DROP INDEX i0").unwrap(),
             Statement::DropIndex { if_exists: false, .. }
         ));
-        assert!(matches!(
-            parse_statement("DROP VIEW v0").unwrap(),
-            Statement::DropView { .. }
-        ));
+        assert!(matches!(parse_statement("DROP VIEW v0").unwrap(), Statement::DropView { .. }));
     }
 
     #[test]

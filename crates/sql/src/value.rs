@@ -94,6 +94,10 @@ impl TriBool {
     }
 
     /// Three-valued logical NOT.
+    ///
+    /// Also available as the `!` operator; the method form reads better in
+    /// evaluator code chained off comparisons.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> TriBool {
         match self {
@@ -139,6 +143,14 @@ impl TriBool {
             Some(false) => TriBool::False,
             None => TriBool::Unknown,
         }
+    }
+}
+
+impl std::ops::Not for TriBool {
+    type Output = TriBool;
+
+    fn not(self) -> TriBool {
+        TriBool::not(self)
     }
 }
 

@@ -138,7 +138,9 @@ impl Database {
     pub fn children_of(&self, parent: &str) -> Vec<String> {
         self.tables
             .values()
-            .filter(|t| t.schema.inherits.as_deref().is_some_and(|p| p.eq_ignore_ascii_case(parent)))
+            .filter(|t| {
+                t.schema.inherits.as_deref().is_some_and(|p| p.eq_ignore_ascii_case(parent))
+            })
             .map(|t| t.schema.name.clone())
             .collect()
     }
@@ -201,10 +203,7 @@ impl Database {
 
     /// All indexes on a table, mutably.
     pub fn indexes_on_mut(&mut self, table: &str) -> Vec<&mut Index> {
-        self.indexes
-            .values_mut()
-            .filter(|i| i.def.table.eq_ignore_ascii_case(table))
-            .collect()
+        self.indexes.values_mut().filter(|i| i.def.table.eq_ignore_ascii_case(table)).collect()
     }
 
     /// All index names.
@@ -362,7 +361,9 @@ mod tests {
         let mut db = Database::new();
         db.create_table(simple_schema("t0")).unwrap();
         db.create_view(View { name: "v0".into(), query: Select::star(vec!["t0".into()]) }).unwrap();
-        assert!(db.create_view(View { name: "t0".into(), query: Select::star(vec!["t0".into()]) }).is_err());
+        assert!(db
+            .create_view(View { name: "t0".into(), query: Select::star(vec!["t0".into()]) })
+            .is_err());
         assert_eq!(db.view_names(), vec!["v0"]);
         db.drop_view("v0").unwrap();
         assert!(db.drop_view("v0").is_err());

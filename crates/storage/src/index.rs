@@ -113,10 +113,8 @@ impl Index {
     /// unique index.
     pub fn insert(&mut self, key: Vec<Value>, row_id: RowId) -> StorageResult<()> {
         if self.def.unique && !key.iter().any(Value::is_null) {
-            if let Some(existing) = self
-                .entries
-                .iter()
-                .find(|e| e.row_id != row_id && self.keys_equal(&e.key, &key))
+            if let Some(existing) =
+                self.entries.iter().find(|e| e.row_id != row_id && self.keys_equal(&e.key, &key))
             {
                 let _ = existing;
                 return Err(StorageError::UniqueViolation {
@@ -147,11 +145,7 @@ impl Index {
     /// Returns the row ids whose key equals the probe key.
     #[must_use]
     pub fn lookup(&self, key: &[Value]) -> Vec<RowId> {
-        self.entries
-            .iter()
-            .filter(|e| self.keys_equal(&e.key, key))
-            .map(|e| e.row_id)
-            .collect()
+        self.entries.iter().filter(|e| self.keys_equal(&e.key, key)).map(|e| e.row_id).collect()
     }
 
     /// Returns all entries (for index scans).

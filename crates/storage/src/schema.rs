@@ -1,7 +1,9 @@
 //! Table schemas and column metadata.
 
 use lancer_sql::ast::expr::TypeName;
-use lancer_sql::ast::stmt::{ColumnConstraint, ColumnDef, CreateTable, TableConstraint, TableEngine};
+use lancer_sql::ast::stmt::{
+    ColumnConstraint, ColumnDef, CreateTable, TableConstraint, TableEngine,
+};
 use lancer_sql::ast::Expr;
 use lancer_sql::collation::Collation;
 use lancer_sql::value::Value;

@@ -89,7 +89,9 @@ impl Table {
                 *slot = values;
                 Ok(())
             }
-            None => Err(StorageError::Internal(format!("no row {id} in table {}", self.schema.name))),
+            None => {
+                Err(StorageError::Internal(format!("no row {id} in table {}", self.schema.name)))
+            }
         }
     }
 

@@ -30,13 +30,7 @@ fn main() {
             continue;
         }
         for bug in &report.found {
-            println!(
-                "- [{}] {:?} ({:?}): {}",
-                bug.kind.label(),
-                bug.id,
-                bug.status,
-                bug.message
-            );
+            println!("- [{}] {:?} ({:?}): {}", bug.kind.label(), bug.id, bug.status, bug.message);
             for sql in &bug.reduced_sql {
                 println!("    {sql};");
             }

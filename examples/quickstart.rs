@@ -52,9 +52,7 @@ fn main() {
     let truth = interp.eval_tribool(&condition, &pivot).unwrap();
     let rectified = rectify(condition, truth);
     println!("rectified condition: {rectified}");
-    let check = buggy
-        .execute_sql(&format!("SELECT t0.c0 FROM t0 WHERE {rectified}"))
-        .unwrap();
+    let check = buggy.execute_sql(&format!("SELECT t0.c0 FROM t0 WHERE {rectified}")).unwrap();
     if check.contains_row(&[Value::Null]) {
         println!("pivot row contained: no bug detected");
     } else {

@@ -37,14 +37,19 @@ fn main() {
     // AND fetch it on the fault-free engine (otherwise the reducer could
     // simply drop the INSERT that creates the pivot row).
     let fails = |candidate: &[lancer_sql::Statement]| {
-        reproduces(Dialect::Sqlite, &profile, candidate, DetectionKind::Containment, Some(&expected))
-            && !reproduces(
-                Dialect::Sqlite,
-                &BugProfile::none(),
-                candidate,
-                DetectionKind::Containment,
-                Some(&expected),
-            )
+        reproduces(
+            Dialect::Sqlite,
+            &profile,
+            candidate,
+            DetectionKind::Containment,
+            Some(&expected),
+        ) && !reproduces(
+            Dialect::Sqlite,
+            &BugProfile::none(),
+            candidate,
+            DetectionKind::Containment,
+            Some(&expected),
+        )
     };
     assert!(fails(&statements), "the full script must reproduce the fault");
 

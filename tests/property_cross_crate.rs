@@ -21,9 +21,8 @@ use rand::SeedableRng;
 /// Builds a pivot row + matching engine row schema with three columns of
 /// random values.
 fn fixture(values: &[Value; 3]) -> (PivotRow, RowSchema, Vec<Value>) {
-    let metas: Vec<ColumnMeta> = (0..3)
-        .map(|i| ColumnMeta::from_def(&ColumnDef::new(format!("c{i}"), None)))
-        .collect();
+    let metas: Vec<ColumnMeta> =
+        (0..3).map(|i| ColumnMeta::from_def(&ColumnDef::new(format!("c{i}"), None))).collect();
     let pivot = PivotRow {
         columns: metas
             .iter()

@@ -1,0 +1,148 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The sibling `serde` stub defines `Serialize` / `Deserialize` as marker
+//! traits, so the derives only need to emit empty impls:
+//!
+//! ```text
+//! impl<'a, T> ::serde::Serialize for Foo<'a, T> {}
+//! impl<'de, 'a, T> ::serde::Deserialize<'de> for Foo<'a, T> {}
+//! ```
+//!
+//! The input item is parsed with a small hand-rolled scanner (no `syn`):
+//! it skips attributes and visibility, finds the `struct`/`enum`/`union`
+//! keyword, takes the following identifier as the type name, and — when a
+//! generic parameter list follows — collects the parameter declarations
+//! while stripping bounds and defaults.  `#[serde(...)]` helper
+//! attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// One generic parameter: how it is declared on the impl and how it is
+/// named in the self-type's argument list.
+struct Param {
+    decl: String,
+    name: String,
+}
+
+/// Splits the token text of a generic list (the tokens between the outer
+/// `<` and `>`) into per-parameter declarations and names.
+fn split_params(tokens: &[TokenTree]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Vec<String> = Vec::new();
+    let flush = |current: &mut Vec<String>, params: &mut Vec<Param>| {
+        if current.is_empty() {
+            return;
+        }
+        // Drop bounds and defaults: keep everything before the first `:`
+        // or `=` — except for `const N: usize`, where the type is part of
+        // the declaration.
+        let is_const = current.first().is_some_and(|t| t == "const");
+        let head: Vec<String> = if is_const {
+            current.clone()
+        } else {
+            current.iter().take_while(|t| *t != ":" && *t != "=").cloned().collect()
+        };
+        let name = if is_const {
+            head.get(1).cloned().unwrap_or_else(|| "N".to_string())
+        } else {
+            head.join("")
+        };
+        let decl = if is_const { head.join(" ").replace(" :", ":") } else { head.join("") };
+        params.push(Param { decl, name });
+        current.clear();
+    };
+    for tok in tokens {
+        match tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        flush(&mut current, &mut params);
+                        continue;
+                    }
+                    _ => {}
+                }
+                current.push(c.to_string());
+            }
+            other => current.push(other.to_string()),
+        }
+    }
+    flush(&mut current, &mut params);
+    params
+}
+
+/// Finds the type name and generic parameter tokens of the deriving item.
+fn parse_item(input: TokenStream) -> (String, Vec<Param>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected a type name, found {other:?}"),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            generics.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    (name, split_params(&generics))
+}
+
+fn empty_impl(trait_path: &str, extra_lifetime: Option<&str>, input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let mut decls: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        decls.push(lt.to_string());
+    }
+    decls.extend(params.iter().map(|p| p.decl.clone()));
+    let impl_list =
+        if decls.is_empty() { String::new() } else { format!("<{}>", decls.join(", ")) };
+    let names: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
+    let ty_list = if names.is_empty() { String::new() } else { format!("<{}>", names.join(", ")) };
+    let code =
+        format!("#[automatically_derived] impl{impl_list} {trait_path} for {name}{ty_list} {{}}");
+    code.parse().expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Serialize", None, input)
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Deserialize<'de>", Some("'de"), input)
+}

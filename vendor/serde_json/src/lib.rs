@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The real crate cannot be fetched in this build environment and the
+//! `serde` stub's `Serialize` is a marker trait with no serialization
+//! machinery, so encoding is genuinely unavailable: [`to_string`] and
+//! [`to_string_pretty`] always return [`Error::Unavailable`].  Callers in
+//! this workspace (`lancer_bench::dump_json`) already treat serialization
+//! as best-effort and skip writing when an error is returned.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Serialization is not available in the offline stub.
+    Unavailable,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Unavailable => {
+                write!(f, "serde_json stub: JSON serialization unavailable offline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Stub for `serde_json::to_string` — always reports unavailability.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error::Unavailable)
+}
+
+/// Stub for `serde_json::to_string_pretty` — always reports unavailability.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error::Unavailable)
+}
