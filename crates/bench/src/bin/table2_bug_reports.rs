@@ -7,8 +7,10 @@
 //! three months of testing real DBMS; the comparison here is about the
 //! *shape*: SQLite ≫ MySQL > PostgreSQL, and most findings being true bugs.
 
+use std::collections::BTreeSet;
+
 use lancer_bench::{dump_json, print_table, run_all_campaigns, ReportOptions};
-use lancer_engine::{BugStatus, Dialect};
+use lancer_engine::{BugId, BugStatus, Dialect};
 
 fn main() {
     let opts = ReportOptions::from_args();
@@ -37,12 +39,20 @@ fn main() {
         &["DBMS", "Fixed", "Verified", "Intended", "Duplicate", "paper (F/V/I/D)"],
         &rows,
     );
-    let sqlite_true: usize =
-        reports[&Dialect::Sqlite].found.iter().filter(|f| f.status.is_true_bug()).count();
-    let mysql_true: usize =
-        reports[&Dialect::Mysql].found.iter().filter(|f| f.status.is_true_bug()).count();
-    let pg_true: usize =
-        reports[&Dialect::Postgres].found.iter().filter(|f| f.status.is_true_bug()).count();
+    // Count unique faults, matching table2_counts: a fault found by both a
+    // PQS oracle and TLP is one bug report, not two.
+    let true_bugs = |dialect: Dialect| -> usize {
+        reports[&dialect]
+            .found
+            .iter()
+            .filter(|f| f.status.is_true_bug())
+            .map(|f| f.id)
+            .collect::<BTreeSet<BugId>>()
+            .len()
+    };
+    let sqlite_true = true_bugs(Dialect::Sqlite);
+    let mysql_true = true_bugs(Dialect::Mysql);
+    let pg_true = true_bugs(Dialect::Postgres);
     println!(
         "\nShape check (paper: SQLite 65 > MySQL 25 > PostgreSQL 9 true bugs): measured {} > {} > {} => {}",
         sqlite_true,

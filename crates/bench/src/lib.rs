@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use lancer_core::{run_campaign, CampaignConfig, CampaignReport};
+use lancer_core::{Campaign, CampaignReport};
 use lancer_engine::Dialect;
 
 /// Command-line options shared by every report binary.
@@ -59,15 +59,18 @@ impl ReportOptions {
         opts
     }
 
-    /// Builds the campaign configuration for one dialect.
+    /// Builds the campaign for one dialect.  All registered oracles run
+    /// (error + containment + TLP); the derived-stream design guarantees
+    /// the TLP oracle never perturbs what the classic pair finds.
     #[must_use]
-    pub fn campaign(&self, dialect: Dialect) -> CampaignConfig {
-        let mut c = CampaignConfig::new(dialect);
-        c.seed = self.seed;
-        c.databases = self.databases;
-        c.queries_per_database = self.queries_per_database;
-        c.threads = self.threads;
-        c
+    pub fn campaign(&self, dialect: Dialect) -> Campaign {
+        Campaign::builder(dialect)
+            .seed(self.seed)
+            .databases(self.databases)
+            .queries(self.queries_per_database)
+            .threads(self.threads)
+            .all_oracles()
+            .build()
     }
 }
 
@@ -83,7 +86,7 @@ pub fn run_all_campaigns(opts: &ReportOptions) -> BTreeMap<Dialect, CampaignRepo
                 opts.databases,
                 opts.queries_per_database
             );
-            (*d, run_campaign(&opts.campaign(*d)))
+            (*d, opts.campaign(*d).run())
         })
         .collect()
 }
@@ -171,7 +174,7 @@ mod tests {
     fn options_build_campaigns() {
         let opts = ReportOptions::default();
         let c = opts.campaign(Dialect::Mysql);
-        assert_eq!(c.dialect, Dialect::Mysql);
-        assert_eq!(c.databases, opts.databases);
+        assert_eq!(c.dialect(), Dialect::Mysql);
+        assert_eq!(c.oracle_names(), vec!["error", "containment", "tlp"]);
     }
 }

@@ -28,6 +28,10 @@ pub struct GenConfig {
     /// Number of additional DDL/DML/maintenance statements generated after
     /// the initial tables and rows.
     pub extra_statements: usize,
+    /// Maximum number of tables a per-query oracle pulls into one check
+    /// (the pivot-row cross product of §3.1 step 2, also used by the TLP
+    /// oracle's FROM clause).  Values below 1 are treated as 1.
+    pub max_pivot_tables: usize,
 }
 
 impl Default for GenConfig {
@@ -38,6 +42,7 @@ impl Default for GenConfig {
             max_rows: 30,
             max_expr_depth: 3,
             extra_statements: 12,
+            max_pivot_tables: 2,
         }
     }
 }
@@ -52,6 +57,7 @@ impl GenConfig {
             max_rows: 5,
             max_expr_depth: 2,
             extra_statements: 4,
+            max_pivot_tables: 2,
         }
     }
 }

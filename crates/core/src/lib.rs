@@ -8,21 +8,29 @@
 //! expression, evaluate it on the pivot row with a ground-truth AST
 //! interpreter ([`interp`]), **rectify** it so it is guaranteed to be `TRUE`
 //! ([`oracle::rectify`]), wrap it into a query, and check that the DBMS
-//! returns the pivot row ([`oracle::ContainmentOracle`]).  A secondary
-//! [`oracle::ErrorOracle`] flags unexpected DBMS errors such as database
-//! corruption.  The [`runner`] module orchestrates whole testing campaigns
-//! (random state generation, detection, reduction, attribution), and
-//! [`baseline`] implements the differential-testing and crash-fuzzing
+//! returns the pivot row ([`oracle::ContainmentOracle`]).
+//!
+//! The oracle layer is pluggable: every check implements the
+//! [`oracle::Oracle`] trait and registers in an [`oracle::OracleRegistry`].
+//! Besides containment, an [`oracle::ErrorOracle`] flags unexpected DBMS
+//! errors such as database corruption (§3.3), and an [`oracle::TlpOracle`]
+//! applies ternary logic partitioning — a metamorphic oracle from the
+//! SQLancer lineage that needs no ground truth.  The [`runner`] module
+//! orchestrates whole testing campaigns (random state generation,
+//! detection, reduction, attribution) over any set of registered oracles,
+//! and [`baseline`] implements the differential-testing and crash-fuzzing
 //! baselines the paper contrasts with.
 //!
 //! ```
-//! use lancer_core::{CampaignConfig, run_campaign};
+//! use lancer_core::Campaign;
 //! use lancer_engine::Dialect;
 //!
-//! let mut config = CampaignConfig::quick(Dialect::Sqlite);
-//! config.databases = 2;
-//! config.queries_per_database = 10;
-//! let report = run_campaign(&config);
+//! let report = Campaign::builder(Dialect::Sqlite)
+//!     .quick()
+//!     .databases(2)
+//!     .queries(10)
+//!     .all_oracles() // error + containment + TLP
+//!     .run();
 //! assert!(report.stats.queries_checked > 0);
 //! ```
 
@@ -37,8 +45,16 @@ pub mod runner;
 
 pub use gen::{GenConfig, StateGenerator, VisibleColumn};
 pub use interp::{Interpreter, PivotColumn, PivotRow};
-pub use oracle::{rectify, ContainmentOracle, ErrorOracle, OracleOutcome};
+#[allow(deprecated)]
+pub use oracle::OracleOutcome;
+pub use oracle::{
+    quick_scan, rectify, BugWitness, Cadence, ContainmentOracle, DetectionKind, ErrorOracle,
+    Oracle, OracleCtx, OracleFactory, OracleRegistry, OracleReport, ReproSpec, RngStream,
+    TlpOracle,
+};
 pub use reduce::reduce_statements;
 pub use runner::{
-    run_campaign, CampaignConfig, CampaignReport, CampaignStats, DetectionKind, FoundBug,
+    reproduces, Campaign, CampaignBuilder, CampaignReport, CampaignStats, Detection, FoundBug,
 };
+#[allow(deprecated)]
+pub use runner::{run_campaign, CampaignConfig};

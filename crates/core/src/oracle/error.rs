@@ -1,0 +1,139 @@
+//! The error oracle (§3.3): per-statement whitelists of expected error
+//! classes; anything outside the whitelist indicates a bug.
+
+use lancer_engine::{Engine, EngineError, ErrorClass};
+use lancer_sql::ast::stmt::{Statement, StatementKind};
+use rand::rngs::StdRng;
+
+use crate::oracle::{BugWitness, Cadence, Oracle, OracleCtx, OracleReport, ReproSpec};
+
+/// The error oracle (§3.3): flags unexpected DBMS errors such as database
+/// corruption, spurious constraint failures out of maintenance statements,
+/// and crashes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErrorOracle;
+
+impl ErrorOracle {
+    /// Returns `true` if the error is expected for the given statement and
+    /// therefore *not* a bug.
+    #[must_use]
+    pub fn is_expected(&self, stmt: &Statement, error: &EngineError) -> bool {
+        if error.always_unexpected() {
+            return false;
+        }
+        match stmt.kind() {
+            // Data definition and manipulation may legitimately hit
+            // constraint violations and semantic errors (e.g. inserting a
+            // duplicate into a UNIQUE column, §3.3).
+            StatementKind::CreateTable
+            | StatementKind::CreateIndex
+            | StatementKind::CreateView
+            | StatementKind::AlterTable
+            | StatementKind::Drop
+            | StatementKind::DropIndex
+            | StatementKind::Insert
+            | StatementKind::Update
+            | StatementKind::Delete
+            | StatementKind::CreateStats => {
+                matches!(error.class, ErrorClass::Constraint | ErrorClass::Semantic)
+            }
+            // Queries validated by the interpreter, maintenance statements
+            // and options are not expected to fail at all; constraint
+            // failures out of REINDEX & friends are exactly the bugs the
+            // paper found with the error oracle.
+            StatementKind::Select
+            | StatementKind::Vacuum
+            | StatementKind::Reindex
+            | StatementKind::Analyze
+            | StatementKind::RepairCheckTable
+            | StatementKind::Option
+            | StatementKind::Discard
+            | StatementKind::Transaction => false,
+        }
+    }
+
+    /// Applies the oracle to a failed statement, producing a witness when
+    /// the error is unexpected.
+    #[must_use]
+    pub fn witness(&self, stmt: &Statement, error: &EngineError) -> Option<BugWitness> {
+        if self.is_expected(stmt, error) {
+            None
+        } else {
+            Some(BugWitness {
+                trigger: stmt.clone(),
+                message: error.message.clone(),
+                repro: if error.is_crash() { ReproSpec::Crash } else { ReproSpec::UnexpectedError },
+            })
+        }
+    }
+}
+
+impl Oracle for ErrorOracle {
+    fn name(&self) -> &'static str {
+        "error"
+    }
+
+    /// The error oracle inspects the state-generation failures once per
+    /// database rather than running per-query checks.
+    fn cadence(&self) -> Cadence {
+        Cadence::PerDatabase
+    }
+
+    fn check(&self, _rng: &mut StdRng, _engine: &mut Engine, ctx: &OracleCtx<'_>) -> OracleReport {
+        let witnesses: Vec<BugWitness> =
+            ctx.failures.iter().filter_map(|(stmt, err)| self.witness(stmt, err)).collect();
+        if ctx.failures.is_empty() {
+            OracleReport::Skipped
+        } else if witnesses.is_empty() {
+            OracleReport::Passed
+        } else {
+            OracleReport::Bugs(witnesses)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DetectionKind;
+    use lancer_sql::parser::parse_statement;
+
+    #[test]
+    fn error_oracle_whitelists() {
+        let oracle = ErrorOracle;
+        let insert = parse_statement("INSERT INTO t0(c0) VALUES (1)").unwrap();
+        let reindex = parse_statement("REINDEX").unwrap();
+        let constraint = EngineError::constraint("UNIQUE constraint failed: t0.c0");
+        let corruption = EngineError::corruption("database disk image is malformed");
+        let crash = EngineError::crash("SEGFAULT");
+        assert!(oracle.is_expected(&insert, &constraint));
+        assert!(!oracle.is_expected(&insert, &corruption));
+        assert!(!oracle.is_expected(&reindex, &constraint), "spurious REINDEX failures are bugs");
+        assert!(!oracle.is_expected(&reindex, &crash));
+        assert!(oracle.witness(&insert, &constraint).is_none());
+        let crash_witness = oracle.witness(&reindex, &crash).unwrap();
+        assert_eq!(crash_witness.kind(), DetectionKind::Crash);
+        let error_witness = oracle.witness(&reindex, &constraint).unwrap();
+        assert_eq!(error_witness.kind(), DetectionKind::Error);
+    }
+
+    #[test]
+    fn error_oracle_check_scans_generation_failures() {
+        use crate::gen::GenConfig;
+        use lancer_engine::Dialect;
+        use rand::SeedableRng;
+
+        let gen = GenConfig::tiny();
+        let mut engine = Engine::new(Dialect::Sqlite);
+        let mut rng = StdRng::seed_from_u64(0);
+        let reindex = parse_statement("REINDEX").unwrap();
+        let failures = vec![(reindex, EngineError::corruption("database disk image is malformed"))];
+        let ctx = OracleCtx { dialect: Dialect::Sqlite, gen: &gen, log: &[], failures: &failures };
+        let report = ErrorOracle.check(&mut rng, &mut engine, &ctx);
+        assert_eq!(report.witnesses().len(), 1);
+        assert_eq!(report.witnesses()[0].kind(), DetectionKind::Error);
+
+        let empty_ctx = OracleCtx { dialect: Dialect::Sqlite, gen: &gen, log: &[], failures: &[] };
+        assert_eq!(ErrorOracle.check(&mut rng, &mut engine, &empty_ctx), OracleReport::Skipped);
+    }
+}

@@ -2,61 +2,96 @@
 //! DBMS for a testing session, plus the post-processing the paper performs
 //! by hand (reduction, root-cause attribution, tracker classification).
 //!
-//! A campaign repeatedly (1) generates a random database, (2) applies the
-//! error oracle to state-generation failures, (3) runs containment checks,
-//! and then reduces and attributes every detection to the injected fault(s)
-//! that reproduce it.  Attribution is done by re-executing the reduced test
+//! A campaign repeatedly (1) generates a random database, (2) hands the
+//! state to every registered [`Oracle`] — the error oracle inspects
+//! state-generation failures once per database, per-query oracles such as
+//! containment and TLP run `queries_per_database` checks — and then (3)
+//! reduces and attributes every detection to the injected fault(s) that
+//! reproduce it.  Attribution is done by re-executing the reduced test
 //! case against engines with exactly one fault enabled — the ground truth
 //! that lets the benches regenerate Tables 2 and 3 and Figures 2 and 3.
+//!
+//! Campaigns are configured with the fluent [`CampaignBuilder`]:
+//!
+//! ```
+//! use lancer_core::Campaign;
+//! use lancer_engine::Dialect;
+//!
+//! let report = Campaign::builder(Dialect::Sqlite)
+//!     .quick()
+//!     .databases(2)
+//!     .queries(10)
+//!     .oracle("containment")
+//!     .oracle("tlp")
+//!     .run();
+//! assert!(report.stats.queries_checked > 0);
+//! ```
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::time::Instant;
 
 use lancer_engine::{BugId, BugProfile, BugStatus, Dialect, Engine};
 use lancer_sql::ast::stmt::{ColumnConstraint, Statement, StatementKind};
-use lancer_sql::value::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::gen::{GenConfig, StateGenerator};
-use crate::oracle::{ContainmentOracle, ErrorOracle, OracleOutcome};
-use crate::reduce::reduce_statements;
+use crate::oracle::{
+    partition_union, row_multiset, Cadence, ErrorOracle, Oracle, OracleCtx, OracleRegistry,
+    ReproSpec, RngStream,
+};
 
-/// Which oracle produced a detection (Table 3's columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub enum DetectionKind {
-    /// The pivot row was missing from the result set.
-    Containment,
-    /// An unexpected (non-crash) error was returned.
-    Error,
-    /// A simulated crash (SEGFAULT).
-    Crash,
-}
-
-impl DetectionKind {
-    /// The column label used by Table 3.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            DetectionKind::Containment => "Contains",
-            DetectionKind::Error => "Error",
-            DetectionKind::Crash => "SEGFAULT",
-        }
-    }
-}
+pub use crate::oracle::DetectionKind;
 
 /// A raw detection before reduction and attribution.
 #[derive(Debug, Clone)]
 pub struct Detection {
-    /// Which oracle fired.
-    pub kind: DetectionKind,
-    /// The error message (or a containment description).
+    /// The registry name of the oracle that fired.
+    pub oracle: &'static str,
+    /// The error message (or a mismatch description).
     pub message: String,
     /// The statements executed so far, ending with the triggering statement.
     pub statements: Vec<Statement>,
-    /// For containment violations: the row that must have been fetched.
-    pub expected_row: Option<Vec<Value>>,
+    /// How to re-check the detection on a fresh engine.
+    pub repro: ReproSpec,
+}
+
+impl Detection {
+    /// The detection kind (Table 3 classification).
+    #[must_use]
+    pub fn kind(&self) -> DetectionKind {
+        self.repro.kind()
+    }
+}
+
+impl Serialize for Detection {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value as J;
+        let repro = match &self.repro {
+            ReproSpec::MissingRow(row) => J::Object(vec![(
+                "missing_row".to_owned(),
+                J::Array(row.iter().map(|v| J::String(v.to_sql_literal())).collect()),
+            )]),
+            ReproSpec::UnexpectedError => J::String("unexpected_error".to_owned()),
+            ReproSpec::Crash => J::String("crash".to_owned()),
+            ReproSpec::PartitionMismatch { partitions } => J::Object(vec![(
+                "partition_mismatch".to_owned(),
+                J::Array(partitions.iter().map(|s| J::String(s.to_string())).collect()),
+            )]),
+        };
+        J::Object(vec![
+            ("oracle".to_owned(), J::String(self.oracle.to_owned())),
+            ("kind".to_owned(), J::String(self.kind().label().to_owned())),
+            ("message".to_owned(), J::String(self.message.clone())),
+            (
+                "statements".to_owned(),
+                J::Array(self.statements.iter().map(|s| J::String(s.to_string())).collect()),
+            ),
+            ("repro".to_owned(), repro),
+        ])
+    }
 }
 
 /// A detection after reduction and attribution to an injected fault.
@@ -64,8 +99,10 @@ pub struct Detection {
 pub struct FoundBug {
     /// The injected fault this detection reproduces.
     pub id: BugId,
-    /// The oracle that found it.
+    /// The oracle class that found it.
     pub kind: DetectionKind,
+    /// The registry name of the oracle that found it.
+    pub oracle: String,
     /// The tracker classification of the fault (drives Table 2).
     pub status: BugStatus,
     /// The reduced test case, as SQL text (one statement per line).
@@ -84,7 +121,8 @@ impl FoundBug {
     }
 }
 
-/// Campaign configuration.
+/// Campaign configuration (the pre-builder API).
+#[deprecated(since = "0.1.0", note = "use `Campaign::builder(dialect)` instead")]
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// The dialect (DBMS) under test.
@@ -103,6 +141,7 @@ pub struct CampaignConfig {
     pub bugs: Option<BugProfile>,
 }
 
+#[allow(deprecated)]
 impl CampaignConfig {
     /// A campaign with sensible defaults for the dialect.
     #[must_use]
@@ -131,10 +170,455 @@ impl CampaignConfig {
             bugs: None,
         }
     }
+}
+
+/// How an oracle was requested on the builder.
+enum OracleSpec {
+    Named(String),
+    Instance(Box<dyn Oracle>),
+}
+
+/// Fluent builder for [`Campaign`]s.
+///
+/// Defaults match the original `CampaignConfig::new`: 30 databases, 60
+/// queries per database, seed `0x5EED`, one thread, the full fault profile
+/// of the dialect, and — when no oracle is requested explicitly — the
+/// classic PQS pair (`error` + `containment`).
+pub struct CampaignBuilder {
+    dialect: Dialect,
+    databases: usize,
+    queries_per_database: usize,
+    seed: u64,
+    gen: GenConfig,
+    threads: usize,
+    bugs: Option<BugProfile>,
+    registry: OracleRegistry,
+    oracles: Vec<OracleSpec>,
+}
+
+impl CampaignBuilder {
+    fn new(dialect: Dialect) -> CampaignBuilder {
+        CampaignBuilder {
+            dialect,
+            databases: 30,
+            queries_per_database: 60,
+            seed: 0x5EED,
+            gen: GenConfig::default(),
+            threads: 1,
+            bugs: None,
+            registry: OracleRegistry::builtin(),
+            oracles: Vec::new(),
+        }
+    }
+
+    /// Switches to the small test preset (8 databases, 30 queries, tiny
+    /// generator) — the old `CampaignConfig::quick`.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.databases = 8;
+        self.queries_per_database = 30;
+        self.gen = GenConfig::tiny();
+        self
+    }
+
+    /// Number of random databases to generate.
+    #[must_use]
+    pub fn databases(mut self, databases: usize) -> Self {
+        self.databases = databases;
+        self
+    }
+
+    /// Number of per-query oracle checks per database.
+    #[must_use]
+    pub fn queries(mut self, queries_per_database: usize) -> Self {
+        self.queries_per_database = queries_per_database;
+        self
+    }
+
+    /// RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generator tuning.
+    #[must_use]
+    pub fn gen(mut self, gen: GenConfig) -> Self {
+        self.gen = gen;
+        self
+    }
+
+    /// Worker threads (each owns its databases, as in §3.4).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The fault profile (defaults to every fault of the dialect).
+    #[must_use]
+    pub fn bugs(mut self, bugs: BugProfile) -> Self {
+        self.bugs = Some(bugs);
+        self
+    }
+
+    /// Replaces the oracle registry used to resolve
+    /// [`oracle`](CampaignBuilder::oracle) names.
+    #[must_use]
+    pub fn registry(mut self, registry: OracleRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers an oracle by registry name (`"containment"`, `"error"`,
+    /// `"tlp"`, or any name added to the registry).  Oracles run per
+    /// database in the order they are registered.  Requesting the same
+    /// name twice runs two instances — rarely what you want for a
+    /// primary-stream oracle like containment, since both would draw from
+    /// the shared worker stream.
+    ///
+    /// # Panics
+    ///
+    /// [`build`](CampaignBuilder::build) panics if the name is unknown to
+    /// the registry.
+    #[must_use]
+    pub fn oracle(mut self, name: impl Into<String>) -> Self {
+        self.oracles.push(OracleSpec::Named(name.into()));
+        self
+    }
+
+    /// Registers a pre-constructed oracle instance (for oracles that are
+    /// not in the registry, e.g. closures over extra state).
+    #[must_use]
+    pub fn oracle_instance(mut self, oracle: Box<dyn Oracle>) -> Self {
+        self.oracles.push(OracleSpec::Instance(oracle));
+        self
+    }
+
+    /// Registers every oracle of the registry, in canonical registry order
+    /// (`error`, `containment`, `tlp` for the builtin registry), skipping
+    /// any oracle already requested by name — so combining it with explicit
+    /// [`oracle`](CampaignBuilder::oracle) calls (or calling it twice)
+    /// never duplicates an oracle.
+    #[must_use]
+    pub fn all_oracles(mut self) -> Self {
+        let requested: BTreeSet<String> = self
+            .oracles
+            .iter()
+            .map(|spec| match spec {
+                OracleSpec::Named(name) => name.clone(),
+                OracleSpec::Instance(oracle) => oracle.name().to_owned(),
+            })
+            .collect();
+        let names: Vec<String> = self.registry.names().iter().map(|n| (*n).to_owned()).collect();
+        for name in names {
+            if !requested.contains(&name) {
+                self.oracles.push(OracleSpec::Named(name));
+            }
+        }
+        self
+    }
+
+    /// Builds the campaign, resolving named oracles through the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a requested oracle name is not in the registry.
+    #[must_use]
+    pub fn build(self) -> Campaign {
+        let CampaignBuilder {
+            dialect,
+            databases,
+            queries_per_database,
+            seed,
+            gen,
+            threads,
+            bugs,
+            registry,
+            oracles,
+        } = self;
+        let specs = if oracles.is_empty() {
+            // The classic PQS pair, in the order the original runner used
+            // (error oracle first per database).
+            vec![OracleSpec::Named("error".to_owned()), OracleSpec::Named("containment".to_owned())]
+        } else {
+            oracles
+        };
+        let oracles: Vec<Box<dyn Oracle>> = specs
+            .into_iter()
+            .map(|spec| match spec {
+                OracleSpec::Named(name) => {
+                    registry.build(&name, dialect, &gen).unwrap_or_else(|| {
+                        panic!(
+                            "unknown oracle '{name}'; registered oracles: {:?}",
+                            registry.names()
+                        )
+                    })
+                }
+                OracleSpec::Instance(oracle) => oracle,
+            })
+            .collect();
+        Campaign { dialect, databases, queries_per_database, seed, gen, threads, bugs, oracles }
+    }
+
+    /// Builds and runs the campaign.
+    #[must_use]
+    pub fn run(self) -> CampaignReport {
+        self.build().run()
+    }
+}
+
+/// A fully configured testing campaign over a set of registered oracles.
+pub struct Campaign {
+    dialect: Dialect,
+    databases: usize,
+    queries_per_database: usize,
+    seed: u64,
+    gen: GenConfig,
+    threads: usize,
+    bugs: Option<BugProfile>,
+    oracles: Vec<Box<dyn Oracle>>,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("dialect", &self.dialect)
+            .field("databases", &self.databases)
+            .field("queries_per_database", &self.queries_per_database)
+            .field("seed", &self.seed)
+            .field("threads", &self.threads)
+            .field("oracles", &self.oracle_names())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Campaign {
+    /// Starts building a campaign for the dialect.
+    #[must_use]
+    pub fn builder(dialect: Dialect) -> CampaignBuilder {
+        CampaignBuilder::new(dialect)
+    }
+
+    /// The dialect under test.
+    #[must_use]
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// The registry names of the oracles this campaign runs, in order.
+    #[must_use]
+    pub fn oracle_names(&self) -> Vec<&'static str> {
+        self.oracles.iter().map(|o| o.name()).collect()
+    }
 
     fn profile(&self) -> BugProfile {
         self.bugs.clone().unwrap_or_else(|| BugProfile::all_for(self.dialect))
     }
+
+    /// Runs the campaign: generation, oracle checks, reduction and
+    /// attribution.
+    #[must_use]
+    pub fn run(&self) -> CampaignReport {
+        let started = Instant::now();
+        let profile = self.profile();
+        let threads = self.threads.max(1);
+        let mut raw: Vec<Detection> = Vec::new();
+        let mut stats = CampaignStats::default();
+        let mut coverage = lancer_engine::Coverage::new();
+
+        let per_thread = self.databases.div_ceil(threads);
+        let results: Vec<(Vec<Detection>, CampaignStats, lancer_engine::Coverage)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let profile = profile.clone();
+                    handles
+                        .push(scope.spawn(move || self.run_worker(&profile, t as u64, per_thread)));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+        for (mut detections, s, c) in results {
+            raw.append(&mut detections);
+            stats.statements_executed += s.statements_executed;
+            stats.queries_checked += s.queries_checked;
+            stats.containment_violations += s.containment_violations;
+            stats.unexpected_errors += s.unexpected_errors;
+            stats.crashes += s.crashes;
+            stats.tlp_violations += s.tlp_violations;
+            coverage.merge(&c);
+        }
+
+        // Reduction + attribution + deduplication.  Deduplication is
+        // per-domain (see [`DetectionKind::dedup_domain`]): the PQS kinds
+        // share one `seen` set — preserving the original runner's
+        // first-detection-wins semantics bit for bit — while each
+        // independent logic oracle deduplicates on its own, so its
+        // presence never changes the other columns of Table 3.
+        let mut found: Vec<FoundBug> = Vec::new();
+        let mut seen: BTreeMap<&'static str, BTreeSet<BugId>> = BTreeMap::new();
+        for detection in raw {
+            // Discard detections that also "reproduce" without any fault:
+            // those indicate oracle divergence, the analogue of a false bug
+            // report.
+            if reproduces(
+                self.dialect,
+                &BugProfile::none(),
+                &detection.statements,
+                &detection.repro,
+            ) {
+                stats.spurious += 1;
+                continue;
+            }
+            if !reproduces(self.dialect, &profile, &detection.statements, &detection.repro) {
+                // Not deterministic enough to analyse (e.g. depends on
+                // statement counters); skip rather than misattribute.
+                stats.unattributed += 1;
+                continue;
+            }
+            // The reduction predicate is differential: the candidate must
+            // still fail with the faults enabled *and* pass on the
+            // fault-free engine.  Without the second condition the reducer
+            // could drop the statements that make the pivot row exist in
+            // the first place.
+            let reduced = reduce_candidate(self.dialect, &profile, &detection);
+            let domain_seen = seen.entry(detection.kind().dedup_domain()).or_default();
+            let mut attributed: Vec<BugId> = Vec::new();
+            for bug in profile.iter() {
+                if domain_seen.contains(&bug) {
+                    continue;
+                }
+                let single = BugProfile::with(&[bug]);
+                if reproduces(self.dialect, &single, &reduced, &detection.repro) {
+                    attributed.push(bug);
+                }
+            }
+            if attributed.is_empty() {
+                stats.unattributed += 1;
+                continue;
+            }
+            for bug in attributed {
+                domain_seen.insert(bug);
+                found.push(FoundBug {
+                    id: bug,
+                    kind: detection.kind(),
+                    oracle: detection.oracle.to_owned(),
+                    status: bug.info().status,
+                    reduced_sql: reduced.iter().map(ToString::to_string).collect(),
+                    statement_kinds: reduced.iter().map(Statement::kind).collect(),
+                    message: detection.message.clone(),
+                });
+            }
+        }
+
+        stats.elapsed_ms = started.elapsed().as_millis().max(1);
+        stats.coverage_fraction = coverage.fraction();
+        CampaignReport {
+            dialect: self.dialect,
+            oracles: self.oracle_names().iter().map(|n| (*n).to_owned()).collect(),
+            found,
+            stats,
+        }
+    }
+
+    fn run_worker(
+        &self,
+        profile: &BugProfile,
+        worker: u64,
+        databases: usize,
+    ) -> (Vec<Detection>, CampaignStats, lancer_engine::Coverage) {
+        let worker_seed = self.seed ^ (worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(worker_seed);
+        // Derived-stream oracles get substreams keyed by `(seed, worker,
+        // oracle name)` — NOT by registration position, so an oracle's
+        // stream is stable no matter where in the list it sits or what
+        // else is registered.  Only a *repeat* of the same name mixes in
+        // its per-name occurrence count, to keep duplicate instances from
+        // sharing a stream.
+        let mut occurrences: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut derived: Vec<Option<StdRng>> = self
+            .oracles
+            .iter()
+            .map(|o| {
+                let occurrence = occurrences.entry(o.name()).or_insert(0);
+                let stream = match o.rng_stream() {
+                    RngStream::Primary => None,
+                    RngStream::Derived => Some(StdRng::seed_from_u64(
+                        worker_seed
+                            ^ fnv1a(o.name())
+                                .wrapping_add(occurrence.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    )),
+                };
+                *occurrence += 1;
+                stream
+            })
+            .collect();
+        let mut detections = Vec::new();
+        let mut stats = CampaignStats::default();
+        let mut coverage = lancer_engine::Coverage::new();
+        for _ in 0..databases {
+            let mut engine = Engine::with_bugs(self.dialect, profile.clone());
+            let mut generator = StateGenerator::new(self.dialect, self.gen.clone());
+            let (log, failures) = generator.generate_database(&mut rng, &mut engine);
+            let ctx =
+                OracleCtx { dialect: self.dialect, gen: &self.gen, log: &log, failures: &failures };
+            for (i, oracle) in self.oracles.iter().enumerate() {
+                let runs = match oracle.cadence() {
+                    Cadence::PerDatabase => 1,
+                    Cadence::PerQuery => self.queries_per_database,
+                };
+                for _ in 0..runs {
+                    if oracle.cadence() == Cadence::PerQuery {
+                        stats.queries_checked += 1;
+                    }
+                    let report = match derived[i].as_mut() {
+                        Some(substream) => oracle.check(substream, &mut engine, &ctx),
+                        None => oracle.check(&mut rng, &mut engine, &ctx),
+                    };
+                    for witness in report.witnesses() {
+                        match witness.kind() {
+                            DetectionKind::Containment => stats.containment_violations += 1,
+                            DetectionKind::Error => stats.unexpected_errors += 1,
+                            DetectionKind::Crash => stats.crashes += 1,
+                            DetectionKind::Tlp => stats.tlp_violations += 1,
+                        }
+                        let mut statements = log.clone();
+                        statements.push(witness.trigger.clone());
+                        detections.push(Detection {
+                            oracle: oracle.name(),
+                            message: witness.message.clone(),
+                            statements,
+                            repro: witness.repro.clone(),
+                        });
+                    }
+                }
+            }
+            stats.statements_executed += engine.statements_executed();
+            coverage.merge(engine.coverage());
+        }
+        (detections, stats, coverage)
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn reduce_candidate(
+    dialect: Dialect,
+    profile: &BugProfile,
+    detection: &Detection,
+) -> Vec<Statement> {
+    crate::reduce::reduce_statements(&detection.statements, &|candidate| {
+        reproduces(dialect, profile, candidate, &detection.repro)
+            && !reproduces(dialect, &BugProfile::none(), candidate, &detection.repro)
+    })
 }
 
 /// Aggregate statistics of a campaign.
@@ -142,7 +626,8 @@ impl CampaignConfig {
 pub struct CampaignStats {
     /// Total SQL statements executed against the engine.
     pub statements_executed: u64,
-    /// Containment checks performed.
+    /// Per-query oracle checks performed (containment + TLP + any other
+    /// per-query oracle).
     pub queries_checked: u64,
     /// Raw containment violations observed (before dedup).
     pub containment_violations: u64,
@@ -150,6 +635,8 @@ pub struct CampaignStats {
     pub unexpected_errors: u64,
     /// Raw crashes observed (before dedup).
     pub crashes: u64,
+    /// Raw TLP partition mismatches observed (before dedup).
+    pub tlp_violations: u64,
     /// Detections that also reproduce with every fault disabled (oracle
     /// divergence); they are discarded, mirroring false bug reports.
     pub spurious: u64,
@@ -178,6 +665,8 @@ impl CampaignStats {
 pub struct CampaignReport {
     /// The dialect that was tested.
     pub dialect: Dialect,
+    /// The registry names of the oracles that ran, in order.
+    pub oracles: Vec<String>,
     /// Deduplicated, attributed findings.
     pub found: Vec<FoundBug>,
     /// Aggregate statistics.
@@ -185,17 +674,21 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Table 2: findings grouped by tracker classification.
+    /// Table 2: findings grouped by tracker classification.  A fault found
+    /// by several oracles counts once (it would be one bug report).
     #[must_use]
     pub fn table2_counts(&self) -> BTreeMap<BugStatus, usize> {
+        let mut counted: BTreeSet<BugId> = BTreeSet::new();
         let mut out = BTreeMap::new();
         for f in &self.found {
-            *out.entry(f.status).or_insert(0) += 1;
+            if counted.insert(f.id) {
+                *out.entry(f.status).or_insert(0) += 1;
+            }
         }
         out
     }
 
-    /// Table 3: *true* bugs grouped by the oracle that found them.
+    /// Table 3: *true* bugs grouped by the oracle class that found them.
     #[must_use]
     pub fn table3_counts(&self) -> BTreeMap<DetectionKind, usize> {
         let mut out = BTreeMap::new();
@@ -232,6 +725,7 @@ impl CampaignReport {
                     DetectionKind::Containment => row.triggered_contains += 1,
                     DetectionKind::Error => row.triggered_error += 1,
                     DetectionKind::Crash => row.triggered_crash += 1,
+                    DetectionKind::Tlp => row.triggered_tlp += 1,
                 }
             }
         }
@@ -321,6 +815,8 @@ pub struct StatementDistributionRow {
     pub triggered_error: usize,
     /// Triggering statement count for crashes.
     pub triggered_crash: usize,
+    /// Triggering statement count for the TLP oracle.
+    pub triggered_tlp: usize,
 }
 
 impl StatementDistributionRow {
@@ -332,6 +828,7 @@ impl StatementDistributionRow {
             triggered_contains: 0,
             triggered_error: 0,
             triggered_crash: 0,
+            triggered_tlp: 0,
         }
     }
 }
@@ -350,14 +847,14 @@ pub struct ConstraintStats {
 }
 
 /// Re-executes a test case on a fresh engine with the given fault profile
-/// and reports whether the detection still reproduces.
+/// and reports whether the detection still reproduces according to its
+/// [`ReproSpec`].
 #[must_use]
 pub fn reproduces(
     dialect: Dialect,
     profile: &BugProfile,
     statements: &[Statement],
-    kind: DetectionKind,
-    expected_row: Option<&[Value]>,
+    repro: &ReproSpec,
 ) -> bool {
     if statements.is_empty() {
         return false;
@@ -371,226 +868,71 @@ pub fn reproduces(
     }
     let last = &last[0];
     match engine.execute(last) {
-        Ok(result) => match kind {
-            // A containment failure only counts when the triggering statement
-            // is still the query itself; otherwise the "missing row" would be
-            // trivially true for any non-query statement.
-            DetectionKind::Containment if last.is_read_only() => match expected_row {
-                Some(row) => !result.contains_row(row),
-                None => false,
-            },
+        Ok(result) => match repro {
+            // A containment failure only counts when the triggering
+            // statement is still the query itself; otherwise the "missing
+            // row" would be trivially true for any non-query statement.
+            ReproSpec::MissingRow(row) if last.is_read_only() => !result.contains_row(row),
+            // A TLP mismatch reproduces when the partition union still
+            // disagrees with the unpartitioned result; partition errors
+            // mean the mismatch cannot be confirmed.
+            ReproSpec::PartitionMismatch { partitions } if last.is_read_only() => {
+                let expected = row_multiset(&result.rows);
+                match partition_union(&mut engine, partitions) {
+                    Some(union) => expected != union,
+                    None => false,
+                }
+            }
             _ => false,
         },
-        Err(e) => match kind {
-            DetectionKind::Crash => e.is_crash(),
-            DetectionKind::Error => !e.is_crash() && !ErrorOracle.is_expected(last, &e),
-            // A containment detection reproduces only when the query runs and
-            // misses the pivot row; an error is a different failure mode and
-            // must be attributed through an Error/Crash detection instead.
-            DetectionKind::Containment => false,
+        Err(e) => match repro {
+            ReproSpec::Crash => e.is_crash(),
+            ReproSpec::UnexpectedError => !e.is_crash() && !ErrorOracle.is_expected(last, &e),
+            // A logic detection reproduces only when the query runs; an
+            // error is a different failure mode and must be attributed
+            // through an Error/Crash detection instead.
+            ReproSpec::MissingRow(_) | ReproSpec::PartitionMismatch { .. } => false,
         },
     }
 }
 
-/// Runs a campaign for one dialect.
+/// Runs a campaign for one dialect (the pre-builder API).
+#[deprecated(since = "0.1.0", note = "use `Campaign::builder(dialect)...run()` instead")]
+#[allow(deprecated)]
 #[must_use]
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    let started = Instant::now();
-    let profile = config.profile();
-    let threads = config.threads.max(1);
-    let mut raw: Vec<Detection> = Vec::new();
-    let mut stats = CampaignStats::default();
-    let mut coverage = lancer_engine::Coverage::new();
-
-    let per_thread = config.databases.div_ceil(threads);
-    let results: Vec<(Vec<Detection>, CampaignStats, lancer_engine::Coverage)> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let profile = profile.clone();
-                let config = config.clone();
-                handles
-                    .push(scope.spawn(move || run_worker(&config, &profile, t as u64, per_thread)));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-    for (mut detections, s, c) in results {
-        raw.append(&mut detections);
-        stats.statements_executed += s.statements_executed;
-        stats.queries_checked += s.queries_checked;
-        stats.containment_violations += s.containment_violations;
-        stats.unexpected_errors += s.unexpected_errors;
-        stats.crashes += s.crashes;
-        coverage.merge(&c);
-    }
-
-    // Reduction + attribution + deduplication.
-    let mut found: Vec<FoundBug> = Vec::new();
-    let mut seen: BTreeSet<BugId> = BTreeSet::new();
-    for detection in raw {
-        let expected = detection.expected_row.clone();
-        let expected_ref = expected.as_deref();
-        // Discard detections that also "reproduce" without any fault: those
-        // indicate oracle divergence, the analogue of a false bug report.
-        if reproduces(
-            config.dialect,
-            &BugProfile::none(),
-            &detection.statements,
-            detection.kind,
-            expected_ref,
-        ) {
-            stats.spurious += 1;
-            continue;
-        }
-        if !reproduces(
-            config.dialect,
-            &profile,
-            &detection.statements,
-            detection.kind,
-            expected_ref,
-        ) {
-            // Not deterministic enough to analyse (e.g. depends on statement
-            // counters); skip rather than misattribute.
-            stats.unattributed += 1;
-            continue;
-        }
-        // The reduction predicate is differential: the candidate must still
-        // fail with the faults enabled *and* pass on the fault-free engine.
-        // Without the second condition the reducer could drop the statements
-        // that make the pivot row exist in the first place.
-        let reduced = reduce_statements(&detection.statements, &|candidate| {
-            reproduces(config.dialect, &profile, candidate, detection.kind, expected_ref)
-                && !reproduces(
-                    config.dialect,
-                    &BugProfile::none(),
-                    candidate,
-                    detection.kind,
-                    expected_ref,
-                )
-        });
-        let mut attributed: Vec<BugId> = Vec::new();
-        for bug in profile.iter() {
-            if seen.contains(&bug) {
-                continue;
-            }
-            let single = BugProfile::with(&[bug]);
-            if reproduces(config.dialect, &single, &reduced, detection.kind, expected_ref) {
-                attributed.push(bug);
-            }
-        }
-        if attributed.is_empty() {
-            stats.unattributed += 1;
-            continue;
-        }
-        for bug in attributed {
-            seen.insert(bug);
-            found.push(FoundBug {
-                id: bug,
-                kind: detection.kind,
-                status: bug.info().status,
-                reduced_sql: reduced.iter().map(ToString::to_string).collect(),
-                statement_kinds: reduced.iter().map(Statement::kind).collect(),
-                message: detection.message.clone(),
-            });
-        }
-    }
-
-    stats.elapsed_ms = started.elapsed().as_millis().max(1);
-    stats.coverage_fraction = coverage.fraction();
-    CampaignReport { dialect: config.dialect, found, stats }
+    Campaign::builder(config.dialect)
+        .databases(config.databases)
+        .queries(config.queries_per_database)
+        .seed(config.seed)
+        .gen(config.gen.clone())
+        .threads(config.threads)
+        .build_with_optional_bugs(config.bugs.clone())
+        .run()
 }
 
-fn run_worker(
-    config: &CampaignConfig,
-    profile: &BugProfile,
-    worker: u64,
-    databases: usize,
-) -> (Vec<Detection>, CampaignStats, lancer_engine::Coverage) {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-    let mut detections = Vec::new();
-    let mut stats = CampaignStats::default();
-    let mut coverage = lancer_engine::Coverage::new();
-    let error_oracle = ErrorOracle;
-    let containment = ContainmentOracle::new(config.dialect, config.gen.clone());
-    for _ in 0..databases {
-        let mut engine = Engine::with_bugs(config.dialect, profile.clone());
-        let mut generator = StateGenerator::new(config.dialect, config.gen.clone());
-        let (log, failures) = generator.generate_database(&mut rng, &mut engine);
-        for (stmt, err) in &failures {
-            if let Some(OracleOutcome::UnexpectedError { message, crash, .. }) =
-                error_oracle.check(stmt, err)
-            {
-                let mut statements = log.clone();
-                statements.push(stmt.clone());
-                if crash {
-                    stats.crashes += 1;
-                } else {
-                    stats.unexpected_errors += 1;
-                }
-                detections.push(Detection {
-                    kind: if crash { DetectionKind::Crash } else { DetectionKind::Error },
-                    message,
-                    statements,
-                    expected_row: None,
-                });
-            }
-        }
-        for _ in 0..config.queries_per_database {
-            stats.queries_checked += 1;
-            match containment.check_once(&mut rng, &mut engine) {
-                OracleOutcome::Passed | OracleOutcome::Skipped => {}
-                OracleOutcome::ContainmentViolation { query, expected_row } => {
-                    stats.containment_violations += 1;
-                    let mut statements = log.clone();
-                    statements.push(query);
-                    detections.push(Detection {
-                        kind: DetectionKind::Containment,
-                        message: format!(
-                            "pivot row ({}) not contained in the result set",
-                            expected_row
-                                .iter()
-                                .map(Value::to_sql_literal)
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        ),
-                        statements,
-                        expected_row: Some(expected_row),
-                    });
-                }
-                OracleOutcome::UnexpectedError { statement, message, crash } => {
-                    if crash {
-                        stats.crashes += 1;
-                    } else {
-                        stats.unexpected_errors += 1;
-                    }
-                    let mut statements = log.clone();
-                    statements.push(statement);
-                    detections.push(Detection {
-                        kind: if crash { DetectionKind::Crash } else { DetectionKind::Error },
-                        message,
-                        statements,
-                        expected_row: None,
-                    });
-                }
-            }
-        }
-        stats.statements_executed += engine.statements_executed();
-        coverage.merge(engine.coverage());
+impl CampaignBuilder {
+    /// Shim helper for the deprecated [`run_campaign`] entry point, where
+    /// `bugs` is an `Option` rather than a set value.
+    fn build_with_optional_bugs(mut self, bugs: Option<BugProfile>) -> Campaign {
+        self.bugs = bugs;
+        self.build()
     }
-    (detections, stats, coverage)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lancer_sql::value::Value;
+
+    fn quick_campaign(dialect: Dialect) -> CampaignBuilder {
+        Campaign::builder(dialect).quick()
+    }
 
     #[test]
     fn campaign_on_a_correct_engine_finds_nothing() {
-        let mut config = CampaignConfig::quick(Dialect::Sqlite);
-        config.bugs = Some(BugProfile::none());
-        config.databases = 3;
-        config.queries_per_database = 20;
-        let report = run_campaign(&config);
+        let report =
+            quick_campaign(Dialect::Sqlite).bugs(BugProfile::none()).databases(3).queries(20).run();
         assert!(report.found.is_empty(), "unexpected findings: {:#?}", report.found);
         assert!(report.stats.queries_checked > 0);
         assert!(report.stats.statements_executed > 0);
@@ -598,11 +940,9 @@ mod tests {
 
     #[test]
     fn campaign_finds_injected_faults_in_sqlite_profile() {
-        let mut config = CampaignConfig::quick(Dialect::Sqlite);
-        config.databases = 10;
-        config.queries_per_database = 40;
-        let report = run_campaign(&config);
+        let report = quick_campaign(Dialect::Sqlite).databases(10).queries(40).run();
         assert!(!report.found.is_empty(), "expected at least one finding");
+        assert_eq!(report.oracles, vec!["error", "containment"], "default oracle pair");
         // Every finding maps to a fault of the right dialect and its reduced
         // case is non-empty.
         for f in &report.found {
@@ -610,12 +950,12 @@ mod tests {
             assert!(!f.reduced_sql.is_empty());
             assert!(f.reduced_loc() <= 30);
         }
-        // Dedup: each fault appears at most once.
+        // Dedup: each fault appears at most once per oracle domain.
         let ids: BTreeSet<BugId> = report.found.iter().map(|f| f.id).collect();
         assert_eq!(ids.len(), report.found.len());
         // Aggregations are consistent.
         let table2: usize = report.table2_counts().values().sum();
-        assert_eq!(table2, report.found.len());
+        assert_eq!(table2, ids.len());
         let table3: usize = report.table3_counts().values().sum();
         assert!(table3 <= report.found.len());
         assert!(report.mean_reduced_loc() >= 1.0);
@@ -625,7 +965,12 @@ mod tests {
 
     #[test]
     fn reproduces_handles_empty_and_correct_cases() {
-        assert!(!reproduces(Dialect::Sqlite, &BugProfile::none(), &[], DetectionKind::Error, None));
+        assert!(!reproduces(
+            Dialect::Sqlite,
+            &BugProfile::none(),
+            &[],
+            &ReproSpec::UnexpectedError
+        ));
         let stmts = lancer_sql::parse_script(
             "CREATE TABLE t0(c0); INSERT INTO t0(c0) VALUES (1); SELECT * FROM t0;",
         )
@@ -635,8 +980,7 @@ mod tests {
                 Dialect::Sqlite,
                 &BugProfile::none(),
                 &stmts,
-                DetectionKind::Containment,
-                Some(&[Value::Integer(1)])
+                &ReproSpec::MissingRow(vec![Value::Integer(1)])
             ),
             "the correct engine fetches the pivot row, so the detection does not reproduce"
         );
@@ -645,24 +989,171 @@ mod tests {
                 Dialect::Sqlite,
                 &BugProfile::none(),
                 &stmts,
-                DetectionKind::Containment,
-                Some(&[Value::Integer(2)])
+                &ReproSpec::MissingRow(vec![Value::Integer(2)])
             ),
             "a wrong expected row reproduces even without faults, which the spurious filter catches"
         );
     }
 
     #[test]
+    fn reproduces_checks_partition_mismatches() {
+        let stmts = lancer_sql::parse_script(
+            "CREATE TABLE t0(c0); INSERT INTO t0(c0) VALUES (1), (NULL); SELECT t0.c0 FROM t0;",
+        )
+        .unwrap();
+        let partitions = lancer_sql::parse_script(
+            "SELECT t0.c0 FROM t0 WHERE t0.c0 = 1;
+             SELECT t0.c0 FROM t0 WHERE NOT (t0.c0 = 1);
+             SELECT t0.c0 FROM t0 WHERE (t0.c0 = 1) IS NULL;",
+        )
+        .unwrap();
+        assert!(
+            !reproduces(
+                Dialect::Sqlite,
+                &BugProfile::none(),
+                &stmts,
+                &ReproSpec::PartitionMismatch { partitions: partitions.clone() }
+            ),
+            "a correct engine satisfies the partitioning property"
+        );
+        // Dropping one partition makes the union come up short, which the
+        // spec must detect as a (synthetic) mismatch.
+        assert!(reproduces(
+            Dialect::Sqlite,
+            &BugProfile::none(),
+            &stmts,
+            &ReproSpec::PartitionMismatch { partitions: partitions[..2].to_vec() }
+        ));
+    }
+
+    #[test]
     fn multithreaded_campaign_matches_single_threaded_structure() {
-        let mut config = CampaignConfig::quick(Dialect::Mysql);
-        config.threads = 2;
-        config.databases = 6;
-        config.queries_per_database = 20;
-        let report = run_campaign(&config);
+        let report = quick_campaign(Dialect::Mysql).threads(2).databases(6).queries(20).run();
         assert_eq!(report.dialect, Dialect::Mysql);
         for f in &report.found {
             assert_eq!(f.id.info().dialect, Dialect::Mysql);
         }
         assert!(report.stats.statements_per_second() > 0.0);
+    }
+
+    #[test]
+    fn deprecated_config_shim_matches_builder() {
+        #[allow(deprecated)]
+        let legacy = {
+            let mut config = CampaignConfig::quick(Dialect::Sqlite);
+            config.databases = 4;
+            config.queries_per_database = 15;
+            run_campaign(&config)
+        };
+        let modern = quick_campaign(Dialect::Sqlite).databases(4).queries(15).run();
+        assert_eq!(legacy.stats.queries_checked, modern.stats.queries_checked);
+        assert_eq!(legacy.stats.statements_executed, modern.stats.statements_executed);
+        assert_eq!(
+            legacy.found.iter().map(|f| f.id).collect::<Vec<_>>(),
+            modern.found.iter().map(|f| f.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown oracle 'norec'")]
+    fn unknown_oracle_names_panic_at_build() {
+        let _ = Campaign::builder(Dialect::Sqlite).oracle("norec").build();
+    }
+
+    #[test]
+    fn registering_tlp_does_not_change_pqs_findings() {
+        // The load-bearing property behind the Table 3 acceptance check:
+        // adding a derived-stream oracle leaves the primary-stream oracles'
+        // detections (and thus the Contains/Error/SEGFAULT columns)
+        // bit-identical at the same seed.
+        let classic = quick_campaign(Dialect::Sqlite).databases(8).queries(30).run();
+        let extended = quick_campaign(Dialect::Sqlite).databases(8).queries(30).all_oracles().run();
+        let classic_pqs: Vec<(BugId, DetectionKind)> =
+            classic.found.iter().map(|f| (f.id, f.kind)).collect();
+        let extended_pqs: Vec<(BugId, DetectionKind)> = extended
+            .found
+            .iter()
+            .filter(|f| f.kind != DetectionKind::Tlp)
+            .map(|f| (f.id, f.kind))
+            .collect();
+        assert_eq!(classic_pqs, extended_pqs);
+        assert_eq!(classic.stats.containment_violations, extended.stats.containment_violations);
+        assert_eq!(classic.stats.unexpected_errors, extended.stats.unexpected_errors);
+        assert_eq!(classic.stats.crashes, extended.stats.crashes);
+    }
+
+    #[test]
+    fn derived_streams_are_position_independent() {
+        // A derived-stream oracle's substream is keyed by name, not by its
+        // slot in the registration list: shuffling the order changes
+        // nothing about what each oracle generates (only the raw-detection
+        // interleaving, which the per-domain dedup keeps separate anyway).
+        let canonical = quick_campaign(Dialect::Mysql)
+            .databases(8)
+            .queries(40)
+            .threads(2)
+            .oracle("error")
+            .oracle("containment")
+            .oracle("tlp")
+            .run();
+        let shuffled = quick_campaign(Dialect::Mysql)
+            .databases(8)
+            .queries(40)
+            .threads(2)
+            .oracle("tlp")
+            .oracle("error")
+            .oracle("containment")
+            .run();
+        assert!(canonical.stats.tlp_violations > 0, "probe config must produce TLP hits");
+        assert_eq!(canonical.stats.tlp_violations, shuffled.stats.tlp_violations);
+        assert_eq!(canonical.stats.containment_violations, shuffled.stats.containment_violations);
+        assert_eq!(canonical.stats.unexpected_errors, shuffled.stats.unexpected_errors);
+        assert_eq!(canonical.stats.crashes, shuffled.stats.crashes);
+    }
+
+    #[test]
+    fn all_oracles_deduplicates_requested_names() {
+        let combined =
+            Campaign::builder(Dialect::Sqlite).oracle("containment").all_oracles().build();
+        assert_eq!(combined.oracle_names(), vec!["containment", "error", "tlp"]);
+        let twice = Campaign::builder(Dialect::Sqlite).all_oracles().all_oracles().build();
+        assert_eq!(twice.oracle_names(), vec!["error", "containment", "tlp"]);
+    }
+
+    #[test]
+    fn detections_serialize_to_json() {
+        let stmts = lancer_sql::parse_script("CREATE TABLE t0(c0); SELECT t0.c0 FROM t0;").unwrap();
+        let detection = Detection {
+            oracle: "containment",
+            message: "pivot row (1) not contained in the result set".into(),
+            statements: stmts,
+            repro: ReproSpec::MissingRow(vec![Value::Integer(1)]),
+        };
+        let json = serde_json::to_string(&detection).unwrap();
+        let parsed = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.get("oracle").and_then(serde_json::Value::as_str), Some("containment"));
+        assert_eq!(parsed.get("kind").and_then(serde_json::Value::as_str), Some("Contains"));
+        assert_eq!(
+            parsed.get("statements").and_then(serde_json::Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        let tlp = Detection {
+            oracle: "tlp",
+            message: "mismatch".into(),
+            statements: vec![lancer_sql::parse_statement("SELECT 1").unwrap()],
+            repro: ReproSpec::PartitionMismatch {
+                partitions: lancer_sql::parse_script("SELECT 1; SELECT 2; SELECT 3;").unwrap(),
+            },
+        };
+        let json = serde_json::to_string_pretty(&tlp).unwrap();
+        let parsed = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            parsed
+                .get("repro")
+                .and_then(|r| r.get("partition_mismatch"))
+                .and_then(serde_json::Value::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use lancer_core::baseline::{run_differential, run_fuzzer};
-use lancer_core::{run_campaign, CampaignConfig, DetectionKind};
+use lancer_core::{Campaign, DetectionKind};
 use lancer_engine::Dialect;
 
 fn main() {
@@ -18,10 +18,7 @@ fn main() {
     let mut pqs_logic = 0usize;
     let mut pqs_total = 0usize;
     for dialect in Dialect::ALL {
-        let mut config = CampaignConfig::new(dialect);
-        config.databases = databases;
-        config.queries_per_database = queries;
-        let report = run_campaign(&config);
+        let report = Campaign::builder(dialect).databases(databases).queries(queries).run();
         pqs_logic += report
             .found
             .iter()

@@ -1,22 +1,19 @@
-//! Run a full PQS testing campaign against all three emulated DBMS and
-//! print the findings — the workflow the paper's evaluation section is built
-//! on (random state generation, containment + error oracles, reduction,
-//! attribution).
+//! Run a full testing campaign against all three emulated DBMS and print
+//! the findings — the workflow the paper's evaluation section is built on
+//! (random state generation, the full oracle registry — error +
+//! containment + TLP — reduction, attribution).
 //!
 //! ```sh
 //! cargo run --example find_logic_bugs --release
 //! ```
 
-use lancer_core::{run_campaign, CampaignConfig};
+use lancer_core::Campaign;
 use lancer_engine::Dialect;
 
 fn main() {
     for dialect in Dialect::ALL {
-        let mut config = CampaignConfig::new(dialect);
-        config.databases = 20;
-        config.queries_per_database = 50;
-        config.threads = 2;
-        let report = run_campaign(&config);
+        let report =
+            Campaign::builder(dialect).databases(20).queries(50).threads(2).all_oracles().run();
         println!(
             "\n=== {} === ({} statements, {:.0} stmts/s, {} queries checked, coverage {:.0}%)",
             dialect.name(),
@@ -30,7 +27,14 @@ fn main() {
             continue;
         }
         for bug in &report.found {
-            println!("- [{}] {:?} ({:?}): {}", bug.kind.label(), bug.id, bug.status, bug.message);
+            println!(
+                "- [{} via {}] {:?} ({:?}): {}",
+                bug.kind.label(),
+                bug.oracle,
+                bug.id,
+                bug.status,
+                bug.message
+            );
             for sql in &bug.reduced_sql {
                 println!("    {sql};");
             }

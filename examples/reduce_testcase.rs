@@ -7,7 +7,7 @@
 //! cargo run --example reduce_testcase
 //! ```
 
-use lancer_core::{reduce_statements, runner::reproduces, DetectionKind};
+use lancer_core::{reduce_statements, runner::reproduces, ReproSpec};
 use lancer_engine::{BugId, BugProfile, Dialect};
 use lancer_sql::parse_script;
 use lancer_sql::value::Value;
@@ -36,20 +36,10 @@ fn main() {
     // runner: the candidate must miss the pivot row with the fault enabled
     // AND fetch it on the fault-free engine (otherwise the reducer could
     // simply drop the INSERT that creates the pivot row).
+    let repro = ReproSpec::MissingRow(expected);
     let fails = |candidate: &[lancer_sql::Statement]| {
-        reproduces(
-            Dialect::Sqlite,
-            &profile,
-            candidate,
-            DetectionKind::Containment,
-            Some(&expected),
-        ) && !reproduces(
-            Dialect::Sqlite,
-            &BugProfile::none(),
-            candidate,
-            DetectionKind::Containment,
-            Some(&expected),
-        )
+        reproduces(Dialect::Sqlite, &profile, candidate, &repro)
+            && !reproduces(Dialect::Sqlite, &BugProfile::none(), candidate, &repro)
     };
     assert!(fails(&statements), "the full script must reproduce the fault");
 

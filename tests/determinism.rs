@@ -4,10 +4,11 @@
 //!
 //! This guards the seeded `StdRng` worker split in
 //! `crates/core/src/runner.rs`: each worker derives its stream from
-//! `config.seed ^ (worker * 0x9E37_79B9_7F4A_7C15)`, so identical configs
+//! `seed ^ (worker * 0x9E37_79B9_7F4A_7C15)`, and each derived-stream
+//! oracle further mixes in its registry name — so identical campaigns
 //! must yield bit-for-bit identical statistics and findings.
 
-use lancer_core::{run_campaign, CampaignConfig, CampaignReport};
+use lancer_core::{Campaign, CampaignBuilder, CampaignReport};
 use lancer_engine::Dialect;
 
 /// Everything observable about a report except wall-clock time.
@@ -15,22 +16,24 @@ fn fingerprint(report: &CampaignReport) -> String {
     let mut out = String::new();
     let s = &report.stats;
     out.push_str(&format!(
-        "dialect={:?} stmts={} queries={} containment={} errors={} crashes={} \
-         spurious={} unattributed={} coverage={:.6}\n",
+        "dialect={:?} oracles={:?} stmts={} queries={} containment={} errors={} crashes={} \
+         tlp={} spurious={} unattributed={} coverage={:.6}\n",
         report.dialect,
+        report.oracles,
         s.statements_executed,
         s.queries_checked,
         s.containment_violations,
         s.unexpected_errors,
         s.crashes,
+        s.tlp_violations,
         s.spurious,
         s.unattributed,
         s.coverage_fraction,
     ));
     for bug in &report.found {
         out.push_str(&format!(
-            "bug id={:?} kind={:?} status={:?} msg={} kinds={:?}\n",
-            bug.id, bug.kind, bug.status, bug.message, bug.statement_kinds
+            "bug id={:?} kind={:?} oracle={} status={:?} msg={} kinds={:?}\n",
+            bug.id, bug.kind, bug.oracle, bug.status, bug.message, bug.statement_kinds
         ));
         for line in &bug.reduced_sql {
             out.push_str(line);
@@ -40,11 +43,14 @@ fn fingerprint(report: &CampaignReport) -> String {
     out
 }
 
+fn quick(dialect: Dialect) -> CampaignBuilder {
+    Campaign::builder(dialect).quick()
+}
+
 #[test]
 fn same_seed_campaigns_are_identical() {
-    let config = CampaignConfig::quick(Dialect::Sqlite);
-    let first = run_campaign(&config);
-    let second = run_campaign(&config);
+    let first = quick(Dialect::Sqlite).run();
+    let second = quick(Dialect::Sqlite).run();
     assert!(first.stats.queries_checked > 0, "campaign must actually run checks");
     assert_eq!(
         fingerprint(&first),
@@ -55,11 +61,8 @@ fn same_seed_campaigns_are_identical() {
 
 #[test]
 fn different_seeds_change_the_stream() {
-    let config = CampaignConfig::quick(Dialect::Sqlite);
-    let mut reseeded = config.clone();
-    reseeded.seed ^= 0xDEAD_BEEF;
-    let a = run_campaign(&config);
-    let b = run_campaign(&reseeded);
+    let a = quick(Dialect::Sqlite).run();
+    let b = quick(Dialect::Sqlite).seed(0x5EED ^ 0xDEAD_BEEF).run();
     // The two campaigns run the same number of checks but must not execute
     // the exact same statement stream (overwhelmingly unlikely under a
     // working RNG split).
@@ -73,13 +76,23 @@ fn different_seeds_change_the_stream() {
 
 #[test]
 fn multi_threaded_split_matches_itself() {
-    let mut config = CampaignConfig::quick(Dialect::Sqlite);
-    config.threads = 2;
-    let first = run_campaign(&config);
-    let second = run_campaign(&config);
+    let first = quick(Dialect::Sqlite).threads(2).run();
+    let second = quick(Dialect::Sqlite).threads(2).run();
     assert_eq!(
         fingerprint(&first),
         fingerprint(&second),
         "the per-worker seed split must be deterministic"
+    );
+}
+
+#[test]
+fn all_oracle_campaigns_are_deterministic_too() {
+    let first = quick(Dialect::Sqlite).all_oracles().threads(2).run();
+    let second = quick(Dialect::Sqlite).all_oracles().threads(2).run();
+    assert_eq!(first.oracles, vec!["error", "containment", "tlp"]);
+    assert_eq!(
+        fingerprint(&first),
+        fingerprint(&second),
+        "derived oracle substreams must be deterministic"
     );
 }

@@ -6,18 +6,23 @@
 use std::collections::BTreeSet;
 
 use lancer_core::baseline::{run_differential, run_fuzzer};
-use lancer_core::{run_campaign, CampaignConfig, DetectionKind};
+use lancer_core::{Campaign, CampaignBuilder, DetectionKind};
 use lancer_engine::{BugId, BugProfile, Dialect};
+
+fn quick(dialect: Dialect) -> CampaignBuilder {
+    Campaign::builder(dialect).quick()
+}
 
 #[test]
 fn correct_engines_produce_no_findings() {
     for dialect in Dialect::ALL {
-        let mut config = CampaignConfig::quick(dialect);
-        config.bugs = Some(BugProfile::none());
-        config.databases = 4;
-        config.queries_per_database = 25;
-        config.seed = 99;
-        let report = run_campaign(&config);
+        let report = quick(dialect)
+            .bugs(BugProfile::none())
+            .databases(4)
+            .queries(25)
+            .seed(99)
+            .all_oracles()
+            .run();
         assert!(
             report.found.is_empty(),
             "{dialect:?}: false positives on a correct engine: {:#?}",
@@ -28,11 +33,7 @@ fn correct_engines_produce_no_findings() {
 
 #[test]
 fn sqlite_campaign_finds_multiple_fault_classes() {
-    let mut config = CampaignConfig::quick(Dialect::Sqlite);
-    config.databases = 14;
-    config.queries_per_database = 50;
-    config.seed = 0xC0FFEE;
-    let report = run_campaign(&config);
+    let report = quick(Dialect::Sqlite).databases(14).queries(50).seed(0xC0FFEE).run();
     assert!(
         report.found.len() >= 2,
         "expected several findings in the SQLite profile, got {:#?}",
@@ -50,7 +51,8 @@ fn sqlite_campaign_finds_multiple_fault_classes() {
         );
     }
     // Aggregations used by the Table/Figure benches are internally consistent.
-    assert_eq!(report.table2_counts().values().sum::<usize>(), report.found.len());
+    let unique_ids: BTreeSet<BugId> = report.found.iter().map(|f| f.id).collect();
+    assert_eq!(report.table2_counts().values().sum::<usize>(), unique_ids.len());
     assert!(report.table3_counts().values().sum::<usize>() <= report.found.len());
     assert_eq!(report.reduced_lengths().len(), report.found.len());
     assert!(report.stats.coverage_fraction > 0.15, "campaign should exercise the engine broadly");
@@ -61,11 +63,7 @@ fn sqlite_campaign_finds_multiple_fault_classes() {
 fn campaigns_respect_the_dialect_fault_population() {
     let mut all_found: BTreeSet<BugId> = BTreeSet::new();
     for dialect in Dialect::ALL {
-        let mut config = CampaignConfig::quick(dialect);
-        config.databases = 10;
-        config.queries_per_database = 40;
-        config.seed = 7;
-        let report = run_campaign(&config);
+        let report = quick(dialect).databases(10).queries(40).seed(7).run();
         for f in &report.found {
             assert_eq!(f.id.info().dialect, dialect, "finding attributed across dialects");
             all_found.insert(f.id);
@@ -78,15 +76,64 @@ fn campaigns_respect_the_dialect_fault_population() {
 fn detection_kinds_match_fault_oracles_for_known_cases() {
     // A campaign against only error-oracle faults must not report
     // containment findings, and vice versa.
-    let mut config = CampaignConfig::quick(Dialect::Sqlite);
-    config.bugs = Some(BugProfile::with(&[BugId::SqliteReindexSpuriousUniqueFailure]));
-    config.databases = 10;
-    config.queries_per_database = 10;
-    let report = run_campaign(&config);
+    let report = quick(Dialect::Sqlite)
+        .bugs(BugProfile::with(&[BugId::SqliteReindexSpuriousUniqueFailure]))
+        .databases(10)
+        .queries(10)
+        .run();
     for f in &report.found {
         assert_eq!(f.kind, DetectionKind::Error);
         assert_eq!(f.id, BugId::SqliteReindexSpuriousUniqueFailure);
     }
+}
+
+#[test]
+fn tlp_oracle_rediscovers_faults_end_to_end() {
+    // The acceptance check for the pluggable-oracle redesign: a campaign
+    // built with all three oracles attributes at least one injected fault
+    // to the TLP oracle, all the way through reduction and attribution.
+    // The MySQL profile's MEMORY-engine join fault is highly TLP-visible
+    // (partition scans take the faulty path, the full scan does not).
+    let report = quick(Dialect::Mysql).databases(8).queries(40).threads(2).all_oracles().run();
+    assert!(report.stats.tlp_violations > 0, "raw TLP mismatches expected: {:#?}", report.stats);
+    let tlp: Vec<_> = report.found.iter().filter(|f| f.kind == DetectionKind::Tlp).collect();
+    assert!(
+        !tlp.is_empty(),
+        "expected at least one TLP-attributed finding; stats: {:#?}",
+        report.stats
+    );
+    for f in &tlp {
+        assert_eq!(f.oracle, "tlp");
+        assert_eq!(f.id.info().dialect, Dialect::Mysql);
+        assert!(!f.reduced_sql.is_empty());
+    }
+}
+
+#[test]
+fn campaign_reports_round_trip_through_json() {
+    // The serde vendor stack produces real JSON now; a campaign report
+    // must survive render → parse → render unchanged.
+    let report = quick(Dialect::Sqlite).databases(6).queries(30).all_oracles().run();
+    let compact = serde_json::to_string(&report).expect("reports serialize");
+    let parsed = serde_json::from_str(&compact).expect("rendered JSON parses");
+    assert_eq!(
+        parsed.get("dialect").and_then(serde_json::Value::as_str),
+        Some("Sqlite"),
+        "dialect field survives"
+    );
+    assert_eq!(
+        parsed.get("oracles").and_then(serde_json::Value::as_array).map(<[_]>::len),
+        Some(3)
+    );
+    assert!(parsed.get("stats").and_then(|s| s.get("queries_checked")).is_some());
+    let mut rerendered = String::new();
+    // Render the parsed tree again: byte-identical output proves the
+    // parser/renderer pair is lossless for report documents.
+    rerendered.push_str(&serde_json::to_string(&parsed).unwrap());
+    assert_eq!(compact, rerendered);
+    // Pretty output parses back to the same tree.
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    assert_eq!(serde_json::from_str(&pretty).unwrap(), parsed);
 }
 
 #[test]

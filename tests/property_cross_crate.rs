@@ -7,8 +7,9 @@
 //! oracle divergence.
 
 use lancer_core::gen::{random_expression, random_value, GenConfig, StateGenerator, VisibleColumn};
-use lancer_core::{rectify, ContainmentOracle, Interpreter, OracleOutcome, PivotColumn, PivotRow};
+use lancer_core::{rectify, ContainmentOracle, Interpreter, PivotColumn, PivotRow, ReproSpec};
 use lancer_engine::{BugProfile, Dialect, Engine, Evaluator, RowSchema, SourceSchema};
+use lancer_sql::ast::expr::BinaryOp;
 use lancer_sql::ast::stmt::ColumnDef;
 use lancer_sql::ast::Expr;
 use lancer_sql::parser::{parse_expression, parse_statement};
@@ -107,6 +108,53 @@ proptest! {
         }
     }
 
+    /// Algorithm 3's postcondition holds for every `TriBool` input: given a
+    /// random expression, derive variants that evaluate to `TRUE`, `FALSE`
+    /// and `UNKNOWN` on the pivot row, and assert each rectifies to `TRUE`.
+    #[test]
+    fn rectification_is_true_for_all_three_tribool_inputs(
+        seed in any::<u64>(),
+        v0 in value_strategy(),
+        v1 in value_strategy(),
+        v2 in value_strategy(),
+    ) {
+        let values = [v0, v1, v2];
+        let (pivot, _, _) = fixture(&values);
+        let columns: Vec<VisibleColumn> = pivot
+            .columns
+            .iter()
+            .map(|c| VisibleColumn { table: c.table.clone(), meta: c.meta.clone() })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let interp = Interpreter::new(Dialect::Sqlite);
+        let expr = random_expression(&mut rng, &columns, Dialect::Sqlite, 0);
+        let Ok(truth) = interp.eval_tribool(&expr, &pivot) else { return Ok(()) };
+        // A TRUE variant (rectification of the original), a FALSE variant
+        // (its negation), and an UNKNOWN variant (TRUE AND NULL = NULL).
+        let e_true = rectify(expr, truth);
+        let e_false = e_true.clone().not();
+        let e_unknown =
+            Expr::binary(BinaryOp::And, e_true.clone(), Expr::Literal(Value::Null));
+        for (variant, expected_truth) in [
+            (e_true, TriBool::True),
+            (e_false, TriBool::False),
+            (e_unknown, TriBool::Unknown),
+        ] {
+            prop_assert_eq!(
+                interp.eval_tribool(&variant, &pivot).unwrap(),
+                expected_truth,
+                "variant construction must hit the intended TriBool"
+            );
+            let rectified = rectify(variant, expected_truth);
+            prop_assert_eq!(
+                interp.eval_tribool(&rectified, &pivot).unwrap(),
+                TriBool::True,
+                "rectify must yield TRUE for input truth {:?}",
+                expected_truth
+            );
+        }
+    }
+
     /// Random literal values render to SQL that parses back to the same
     /// value, across the whole stack (generator → renderer → parser →
     /// engine).
@@ -175,11 +223,10 @@ fn containment_oracle_has_no_false_positives_on_correct_engines() {
             let _ = generator.generate_database(&mut rng, &mut engine);
             let oracle = ContainmentOracle::new(dialect, GenConfig::tiny());
             for _ in 0..120 {
-                let outcome = oracle.check_once(&mut rng, &mut engine);
-                assert!(
-                    !matches!(outcome, OracleOutcome::ContainmentViolation { .. }),
-                    "{dialect:?} seed {seed}: false positive: {outcome:?}"
-                );
+                let report = oracle.check_once(&mut rng, &mut engine);
+                let logic_violation =
+                    report.witnesses().iter().any(|w| matches!(w.repro, ReproSpec::MissingRow(_)));
+                assert!(!logic_violation, "{dialect:?} seed {seed}: false positive: {report:?}");
             }
         }
     }

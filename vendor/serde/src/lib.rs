@@ -1,84 +1,305 @@
 //! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
 //!
-//! The workspace only uses serde as derive targets (`#[derive(Serialize,
-//! Deserialize)]`) plus one `impl serde::Serialize` bound in
-//! `lancer-bench::dump_json`.  This stub therefore provides [`Serialize`]
-//! and [`Deserialize`] as marker traits (no methods), blanket impls for
-//! the std types that appear inside derived structs, and re-exports the
-//! matching no-op derive macros from `serde_derive`.  Actual JSON
-//! encoding is unavailable offline; `serde_json::to_string_pretty`
-//! reports this as an error.
+//! Unlike the first-generation stub (marker traits only), this version
+//! carries a real, if deliberately small, serialization model: a JSON-shaped
+//! [`Value`] tree and a [`Serialize`] trait whose single method renders a
+//! value into that tree.  `serde_derive` emits genuine field-by-field
+//! implementations and `serde_json` renders / parses the tree, so
+//! `serde_json::to_string(&report)` produces real JSON offline.
+//!
+//! [`Deserialize`] remains a marker trait: nothing in the workspace needs
+//! typed decoding, only dump-and-inspect (`serde_json::from_str` parses
+//! into [`Value`] instead).
 
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
+/// A JSON document tree — the output of [`Serialize::to_value`] and the
+/// parse result of `serde_json::from_str`.
+///
+/// Objects preserve insertion order (a `Vec` of pairs rather than a map),
+/// which keeps derived struct output in declaration order and makes JSON
+/// dumps deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number (serialized without a decimal point).
+    Int(i128),
+    /// A floating-point number.  Non-finite values render as `null`, like
+    /// the real `serde_json`'s lossy modes.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
 
-/// Marker trait standing in for `serde::Deserialize`.
+impl Value {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string value.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an integer value.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array value.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders an object key for this value: strings render verbatim,
+    /// scalars via their JSON text (real `serde_json` requires string keys;
+    /// we are more forgiving so that enum-keyed `BTreeMap`s serialize).
+    #[must_use]
+    pub fn into_object_key(self) -> String {
+        match self {
+            Value::String(s) => s,
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => f.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Stand-in for `serde::Serialize`: renders the value into a [`Value`]
+/// tree.  Derived impls serialize structs as objects (field order =
+/// declaration order) and enums in the externally-tagged layout the real
+/// serde uses by default (`"Variant"` for unit variants, `{"Variant": ...}`
+/// otherwise).
+pub trait Serialize {
+    /// Renders `self` as a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for `serde::Deserialize` (typed decoding is
+/// not provided offline; parse into [`Value`] via `serde_json::from_str`).
 pub trait Deserialize<'de> {}
 
-macro_rules! impl_markers {
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {}
+
+macro_rules! impl_int {
     ($($t:ty),* $(,)?) => {$(
-        impl Serialize for $t {}
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
         impl<'de> Deserialize<'de> for $t {}
     )*};
 }
 
-impl_markers!(
-    (),
-    bool,
-    char,
-    u8,
-    u16,
-    u32,
-    u64,
-    u128,
-    usize,
-    i8,
-    i16,
-    i32,
-    i64,
-    i128,
-    isize,
-    f32,
-    f64,
-    String,
-);
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
 
-impl Serialize for str {}
-impl<T: Serialize + ?Sized> Serialize for &T {}
-impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+// u128 may exceed i128; clamp through string rendering is overkill — the
+// workspace only stores millisecond durations there.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        i128::try_from(*self).map_or_else(|_| Value::String(self.to_string()), Value::Int)
+    }
+}
+impl<'de> Deserialize<'de> for u128 {}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl<'de> Deserialize<'de> for () {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
-impl<T: Serialize> Serialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
-impl<T: Serialize> Serialize for Vec<T> {}
+
+fn seq_to_value<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Array(items.map(Serialize::to_value).collect())
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
-impl<T: Serialize> Serialize for [T] {}
-impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
 impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
 
-impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Object(entries.map(|(k, v)| (k.to_value().into_object_key(), v.to_value())).collect())
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
 impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
     for std::collections::BTreeMap<K, V>
 {
 }
-impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
 impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, S> Deserialize<'de>
     for std::collections::HashMap<K, V, S>
 {
 }
-impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
-impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {}
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
 impl<'de, T: Deserialize<'de>, S> Deserialize<'de> for std::collections::HashSet<T, S> {}
 
-macro_rules! impl_tuple_markers {
-    ($(($($n:ident),+)),* $(,)?) => {$(
-        impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+macro_rules! impl_tuple {
+    ($(($($n:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
         impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
     )*};
 }
 
-impl_tuple_markers!((A), (A, B), (A, B, C), (A, B, C, D));
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impls_produce_expected_shapes() {
+        assert_eq!(3i32.to_value(), Value::Int(3));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::Int(1), Value::Int(2)]));
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k".to_owned(), 1u64);
+        assert_eq!(m.to_value(), Value::Object(vec![("k".into(), Value::Int(1))]));
+        assert_eq!((1u8, "a").to_value().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn object_key_rendering() {
+        assert_eq!(Value::String("k".into()).into_object_key(), "k");
+        assert_eq!(Value::Int(-4).into_object_key(), "-4");
+        assert_eq!(Value::Bool(true).into_object_key(), "true");
+    }
+}

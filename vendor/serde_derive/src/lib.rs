@@ -1,27 +1,32 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The sibling `serde` stub defines `Serialize` / `Deserialize` as marker
-//! traits, so the derives only need to emit empty impls:
+//! The sibling `serde` stub models serialization as a single method —
+//! `Serialize::to_value(&self) -> serde::Value` — so the `Serialize` derive
+//! emits a genuine field-by-field implementation:
 //!
-//! ```text
-//! impl<'a, T> ::serde::Serialize for Foo<'a, T> {}
-//! impl<'de, 'a, T> ::serde::Deserialize<'de> for Foo<'a, T> {}
-//! ```
+//! * named structs become `Value::Object` in declaration order,
+//! * tuple structs become `Value::Array`,
+//! * enums use serde's default externally-tagged layout
+//!   (`"Variant"` for unit variants, `{"Variant": ...}` otherwise).
+//!
+//! `Deserialize` remains a no-op marker impl (typed decoding is not
+//! provided offline; `serde_json::from_str` parses into `serde::Value`).
 //!
 //! The input item is parsed with a small hand-rolled scanner (no `syn`):
 //! it skips attributes and visibility, finds the `struct`/`enum`/`union`
-//! keyword, takes the following identifier as the type name, and — when a
-//! generic parameter list follows — collects the parameter declarations
-//! while stripping bounds and defaults.  `#[serde(...)]` helper
-//! attributes are accepted and ignored.
+//! keyword, takes the following identifier as the type name, collects the
+//! generic parameter declarations, and then walks the body group to list
+//! fields and variants.  `#[serde(...)]` helper attributes are accepted
+//! and ignored.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// One generic parameter: how it is declared on the impl and how it is
 /// named in the self-type's argument list.
 struct Param {
     decl: String,
     name: String,
+    is_type: bool,
 }
 
 /// Splits the token text of a generic list (the tokens between the outer
@@ -49,7 +54,8 @@ fn split_params(tokens: &[TokenTree]) -> Vec<Param> {
             head.join("")
         };
         let decl = if is_const { head.join(" ").replace(" :", ":") } else { head.join("") };
-        params.push(Param { decl, name });
+        let is_type = !is_const && !name.starts_with('\'');
+        params.push(Param { decl, name, is_type });
         current.clear();
     };
     for tok in tokens {
@@ -74,16 +80,148 @@ fn split_params(tokens: &[TokenTree]) -> Vec<Param> {
     params
 }
 
-/// Finds the type name and generic parameter tokens of the deriving item.
-fn parse_item(input: TokenStream) -> (String, Vec<Param>) {
+/// The shape of the deriving item's body.
+enum Body {
+    /// `struct Foo;`
+    UnitStruct,
+    /// `struct Foo(A, B);` — the number of fields.
+    TupleStruct(usize),
+    /// `struct Foo { a: A, b: B }` — the field names in order.
+    NamedStruct(Vec<String>),
+    /// `enum Foo { ... }` — the variants in order.
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant and its payload shape.
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// A fully parsed derive input.
+struct Item {
+    name: String,
+    params: Vec<Param>,
+    body: Body,
+}
+
+/// Skips an attribute at `tokens[i]` (`#` followed by a bracket group),
+/// returning the index after it, or `i` unchanged if not an attribute.
+fn skip_attr(tokens: &[TokenTree], i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(tokens.get(i + 1), Some(TokenTree::Group(_)))
+    {
+        i + 2
+    } else {
+        i
+    }
+}
+
+/// Splits a delimited body's tokens at depth-0 commas (angle-bracket depth;
+/// nested `()`/`[]`/`{}` arrive as single `Group` tokens).
+fn split_comma(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0usize;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extracts the field names of a named-field group (`{ a: A, b: B }`).
+fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    for field in split_comma(tokens) {
+        // Skip attributes and visibility; the field name is the last
+        // identifier before the first depth-0 `:`.
+        let mut i = 0;
+        loop {
+            let next = skip_attr(&field, i);
+            if next == i {
+                break;
+            }
+            i = next;
+        }
+        let mut name = None;
+        while i < field.len() {
+            match &field[i] {
+                TokenTree::Punct(p) if p.as_char() == ':' => break,
+                TokenTree::Ident(id) => name = Some(id.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        if let Some(n) = name {
+            names.push(n);
+        }
+    }
+    names
+}
+
+/// Parses the variants of an enum body group.
+fn enum_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for chunk in split_comma(tokens) {
+        let mut i = 0;
+        loop {
+            let next = skip_attr(&chunk, i);
+            if next == i {
+                break;
+            }
+            i = next;
+        }
+        let Some(TokenTree::Ident(id)) = chunk.get(i) else { continue };
+        let name = id.to_string();
+        let fields = match chunk.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantFields::Tuple(split_comma(&payload).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantFields::Named(named_fields(&payload))
+            }
+            // `Variant = 3` (explicit discriminant) or nothing: unit.
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Parses the deriving item: name, generic parameters, body shape.
+fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
+    let mut is_enum = false;
     while i < tokens.len() {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
             TokenTree::Ident(id)
                 if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
             {
+                is_enum = id.to_string() == "enum";
                 i += 1;
                 break;
             }
@@ -115,34 +253,157 @@ fn parse_item(input: TokenStream) -> (String, Vec<Param>) {
             generics.push(tokens[i].clone());
             i += 1;
         }
+        i += 1; // past the closing `>`
     }
-    (name, split_params(&generics))
+    // Body: the last top-level brace group (skipping any `where` clause),
+    // or a parenthesis group for tuple structs, or nothing for unit
+    // structs.
+    let rest = &tokens[i.min(tokens.len())..];
+    let mut brace: Option<&proc_macro::Group> = None;
+    let mut paren: Option<&proc_macro::Group> = None;
+    for tok in rest {
+        if let TokenTree::Group(g) = tok {
+            match g.delimiter() {
+                Delimiter::Brace => brace = Some(g),
+                Delimiter::Parenthesis if paren.is_none() => paren = Some(g),
+                _ => {}
+            }
+        }
+    }
+    let body = if let Some(g) = brace {
+        let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+        if is_enum {
+            Body::Enum(enum_variants(&payload))
+        } else {
+            Body::NamedStruct(named_fields(&payload))
+        }
+    } else if let Some(g) = paren {
+        let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+        Body::TupleStruct(split_comma(&payload).len())
+    } else {
+        Body::UnitStruct
+    };
+    Item { name, params: split_params(&generics), body }
 }
 
-fn empty_impl(trait_path: &str, extra_lifetime: Option<&str>, input: TokenStream) -> TokenStream {
-    let (name, params) = parse_item(input);
+/// Renders `impl<...> Trait for Name<...>` headers, optionally bounding
+/// every type parameter by `Serialize`.
+fn impl_header(
+    trait_path: &str,
+    extra_lifetime: Option<&str>,
+    item: &Item,
+    bound: Option<&str>,
+) -> String {
     let mut decls: Vec<String> = Vec::new();
     if let Some(lt) = extra_lifetime {
         decls.push(lt.to_string());
     }
-    decls.extend(params.iter().map(|p| p.decl.clone()));
+    for p in &item.params {
+        match bound {
+            Some(b) if p.is_type => decls.push(format!("{}: {b}", p.decl)),
+            _ => decls.push(p.decl.clone()),
+        }
+    }
     let impl_list =
         if decls.is_empty() { String::new() } else { format!("<{}>", decls.join(", ")) };
-    let names: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
+    let names: Vec<String> = item.params.iter().map(|p| p.name.clone()).collect();
     let ty_list = if names.is_empty() { String::new() } else { format!("<{}>", names.join(", ")) };
-    let code =
-        format!("#[automatically_derived] impl{impl_list} {trait_path} for {name}{ty_list} {{}}");
-    code.parse().expect("serde_derive stub: generated impl must parse")
+    format!("impl{impl_list} {trait_path} for {}{ty_list}", item.name)
 }
 
-/// Derives the `serde::Serialize` marker impl.
+fn object_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+/// Generates the `to_value` body for the item.
+fn to_value_body(item: &Item) -> String {
+    match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_owned(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            if *n == 1 {
+                // Newtype structs serialize transparently, like real serde.
+                items.into_iter().next().expect("one field")
+            } else {
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| object_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) if variants.is_empty() => "match *self {}".to_owned(),
+        Body::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let path = format!("{}::{}", item.name, v.name);
+                let arm = match &v.fields {
+                    VariantFields::Unit => format!(
+                        "{path} => ::serde::Value::String(::std::string::String::from(\"{}\")),",
+                        v.name
+                    ),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let payload = if *n == 1 {
+                            values.into_iter().next().expect("one field")
+                        } else {
+                            format!("::serde::Value::Array(::std::vec![{}])", values.join(", "))
+                        };
+                        format!(
+                            "{path}({}) => ::serde::Value::Object(::std::vec![{}]),",
+                            binders.join(", "),
+                            object_entry(&v.name, &payload)
+                        )
+                    }
+                    VariantFields::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| object_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        let payload =
+                            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "));
+                        format!(
+                            "{path} {{ {} }} => ::serde::Value::Object(::std::vec![{}]),",
+                            fields.join(", "),
+                            object_entry(&v.name, &payload)
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
+/// Derives a real `serde::Serialize` implementation.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    empty_impl("::serde::Serialize", None, input)
+    let item = parse_item(input);
+    let header = impl_header("::serde::Serialize", None, &item, Some("::serde::Serialize"));
+    let body = to_value_body(&item);
+    let code = format!(
+        "#[automatically_derived] {header} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    );
+    code.parse().expect("serde_derive stub: generated Serialize impl must parse")
 }
 
-/// Derives the `serde::Deserialize` marker impl.
+/// Derives the `serde::Deserialize` marker impl (no-op: typed decoding is
+/// not provided offline).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    empty_impl("::serde::Deserialize<'de>", Some("'de"), input)
+    let item = parse_item(input);
+    let header = impl_header("::serde::Deserialize<'de>", Some("'de"), &item, None);
+    let code = format!("#[automatically_derived] {header} {{}}");
+    code.parse().expect("serde_derive stub: generated Deserialize impl must parse")
 }

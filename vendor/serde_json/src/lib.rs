@@ -1,29 +1,39 @@
-//! Offline stand-in for `serde_json`.
+//! Offline stand-in for `serde_json` — with a real JSON encoder.
 //!
-//! The real crate cannot be fetched in this build environment and the
-//! `serde` stub's `Serialize` is a marker trait with no serialization
-//! machinery, so encoding is genuinely unavailable: [`to_string`] and
-//! [`to_string_pretty`] always return [`Error::Unavailable`].  Callers in
-//! this workspace (`lancer_bench::dump_json`) already treat serialization
-//! as best-effort and skip writing when an error is returned.
+//! The `serde` stub models serialization as `Serialize::to_value(&self) ->
+//! serde::Value`; this crate renders that tree to JSON text
+//! ([`to_string`] / [`to_string_pretty`]) and parses JSON text back into a
+//! [`Value`] tree ([`from_str`]), so campaign and oracle reports can be
+//! dumped to disk and round-tripped.  Typed deserialization
+//! (`from_str::<T>`) is not provided; inspect the parsed [`Value`]
+//! instead.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 
+/// The JSON tree type (re-exported from the `serde` stub, where the
+/// `Serialize` trait produces it).
+pub use serde::Value;
+
 /// Error type mirroring `serde_json::Error`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Error {
-    /// Serialization is not available in the offline stub.
-    Unavailable,
+    /// A syntax error while parsing, with a byte offset and description.
+    Syntax {
+        /// Byte offset into the input where parsing failed.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Unavailable => {
-                write!(f, "serde_json stub: JSON serialization unavailable offline")
+            Error::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
             }
         }
     }
@@ -34,12 +44,358 @@ impl std::error::Error for Error {}
 /// Result alias mirroring `serde_json::Result`.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Stub for `serde_json::to_string` — always reports unavailability.
-pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
-    Err(Error::Unavailable)
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
 }
 
-/// Stub for `serde_json::to_string_pretty` — always reports unavailability.
-pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
-    Err(Error::Unavailable)
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Converts a value into its JSON tree without rendering.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(value: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    let newline = |out: &mut String, level: usize| {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * level));
+        }
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` gives the shortest representation that round-trips,
+                // and always includes a decimal point or exponent.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => push_json_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, level + 1);
+                render(item, indent, level + 1, out);
+            }
+            newline(out, level);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, level + 1);
+                push_json_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, level + 1, out);
+            }
+            newline(out, level);
+            out.push('}');
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn from_str(input: &str) -> Result<Value> {
+    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Syntax { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for the dumps
+                            // this workspace produces; map them to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // `pos` always sits on a char boundary here: it only
+                    // ever advances by whole scalars or past ASCII bytes.
+                    let c = self.input[self.pos..].chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans ASCII bytes");
+        if is_float {
+            text.parse::<f64>().map(Value::Float).map_err(|e| self.err(e.to_string()))
+        } else {
+            text.parse::<i128>().map(Value::Int).map_err(|e| self.err(e.to_string()))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-1.5f64).unwrap(), "-1.5");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_owned(), vec![1u8]);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn parses_documents() {
+        let v = from_str(r#"{"a": [1, -2.5, "x", null, true], "b": {}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap(),
+            &[
+                Value::Int(1),
+                Value::Float(-2.5),
+                Value::String("x".into()),
+                Value::Null,
+                Value::Bool(true)
+            ]
+        );
+        assert_eq!(v.get("b"), Some(&Value::Object(vec![])));
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\" 1}").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn compact_output_round_trips_through_the_parser() {
+        let doc = Value::Object(vec![
+            ("s".into(), Value::String("quote \" backslash \\ tab \t".into())),
+            ("n".into(), Value::Int(-9_223_372_036_854_775_808i128)),
+            ("f".into(), Value::Float(0.1)),
+            ("arr".into(), Value::Array(vec![Value::Null, Value::Bool(false)])),
+        ]);
+        let compact = to_string(&doc).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), doc);
+        let pretty = to_string_pretty(&doc).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), doc);
+    }
 }
