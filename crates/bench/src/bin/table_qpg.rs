@@ -1,0 +1,61 @@
+//! QPG table — "Query-plan guidance: plan coverage and findings, guidance
+//! on vs off" (after Ba & Rigger, "Testing Database Engines via Query Plan
+//! Guidance").
+//!
+//! For every dialect the binary runs two campaigns at the **same seed and
+//! budget**: the unguided baseline (plan *observation* only — fingerprints
+//! are counted but the state is never mutated, so its findings are exactly
+//! the classic campaign's) and the plan-guided campaign
+//! (`CampaignBuilder::plan_guidance(true)`), then compares unique
+//! [`lancer_engine::PlanFingerprint`] counts, mutation counts and oracle
+//! findings.  The paper's claim, reproduced here: steering generation
+//! toward new query plans strictly increases the number of distinct plans
+//! the DBMS executes.
+
+use lancer_bench::{dump_json, print_table, ReportOptions};
+use lancer_core::CampaignReport;
+use lancer_engine::Dialect;
+
+fn main() {
+    let opts = ReportOptions::from_args();
+    let mut rows = Vec::new();
+    let mut all_strict = true;
+    let mut reports: Vec<(String, CampaignReport)> = Vec::new();
+    for dialect in Dialect::ALL {
+        eprintln!(
+            "running {} unguided + guided campaigns ({} databases, {} queries each)...",
+            dialect.name(),
+            opts.databases,
+            opts.queries_per_database
+        );
+        let unguided = opts.campaign_builder(dialect).plan_observation(true).run();
+        let guided = opts.campaign_builder(dialect).plan_guidance(true).run();
+        all_strict &= guided.stats.unique_plans > unguided.stats.unique_plans;
+        rows.push(vec![
+            dialect.name().to_owned(),
+            unguided.stats.unique_plans.to_string(),
+            guided.stats.unique_plans.to_string(),
+            format!(
+                "{:+.1}%",
+                (guided.stats.unique_plans as f64 / unguided.stats.unique_plans.max(1) as f64
+                    - 1.0)
+                    * 100.0
+            ),
+            guided.stats.plan_mutations.to_string(),
+            unguided.found.len().to_string(),
+            guided.found.len().to_string(),
+        ]);
+        reports.push((format!("{}_unguided", dialect.name()), unguided));
+        reports.push((format!("{}_guided", dialect.name()), guided));
+    }
+    print_table(
+        "QPG: unique query plans and findings, guidance off vs on (same seed/budget)",
+        &["DBMS", "plans (off)", "plans (on)", "delta", "mutations", "found (off)", "found (on)"],
+        &rows,
+    );
+    println!(
+        "\nQPG claim (guided campaigns reach strictly more unique plans): {}",
+        if all_strict { "holds" } else { "DOES NOT HOLD" }
+    );
+    dump_json("table_qpg", &reports);
+}

@@ -10,6 +10,14 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// Compiles and runs the README's Rust examples as doctests (`cargo test
+/// --doc`), so the quickstarts — including the `EXPLAIN` one — can never
+/// silently rot.  This crate hosts them because it sits at the top of the
+/// dependency graph and can see the whole stack.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctests;
+
 use lancer_core::{Campaign, CampaignReport};
 use lancer_engine::Dialect;
 
@@ -59,18 +67,26 @@ impl ReportOptions {
         opts
     }
 
-    /// Builds the campaign for one dialect.  All registered oracles run
-    /// (error + containment + TLP); the derived-stream design guarantees
-    /// the TLP oracle never perturbs what the classic pair finds.
+    /// Starts a campaign builder for one dialect with these options
+    /// applied.  All registered oracles run (error + containment + TLP);
+    /// the derived-stream design guarantees the TLP oracle never perturbs
+    /// what the classic pair finds.  Report binaries that need extra knobs
+    /// (e.g. `table_qpg`'s `plan_guidance`) chain them on the result.
     #[must_use]
-    pub fn campaign(&self, dialect: Dialect) -> Campaign {
+    pub fn campaign_builder(&self, dialect: Dialect) -> lancer_core::CampaignBuilder {
         Campaign::builder(dialect)
             .seed(self.seed)
             .databases(self.databases)
             .queries(self.queries_per_database)
             .threads(self.threads)
             .all_oracles()
-            .build()
+    }
+
+    /// Builds the campaign for one dialect (see
+    /// [`campaign_builder`](ReportOptions::campaign_builder)).
+    #[must_use]
+    pub fn campaign(&self, dialect: Dialect) -> Campaign {
+        self.campaign_builder(dialect).build()
     }
 }
 

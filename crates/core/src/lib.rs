@@ -18,8 +18,10 @@
 //! SQLancer lineage that needs no ground truth.  The [`runner`] module
 //! orchestrates whole testing campaigns (random state generation,
 //! detection, reduction, attribution) over any set of registered oracles,
-//! and [`baseline`] implements the differential-testing and crash-fuzzing
-//! baselines the paper contrasts with.
+//! [`qpg`] adds query-plan-guided state mutation (opt-in via
+//! [`CampaignBuilder::plan_guidance`]), and [`baseline`] implements the
+//! differential-testing and crash-fuzzing baselines the paper contrasts
+//! with.
 //!
 //! ```
 //! use lancer_core::Campaign;
@@ -40,6 +42,7 @@ pub mod baseline;
 pub mod gen;
 pub mod interp;
 pub mod oracle;
+pub mod qpg;
 pub mod reduce;
 pub mod runner;
 
@@ -52,6 +55,7 @@ pub use oracle::{
     Oracle, OracleCtx, OracleFactory, OracleRegistry, OracleReport, ReproSpec, RngStream,
     TlpOracle,
 };
+pub use qpg::{PlanCoverage, PlanGuide, QpgConfig};
 pub use reduce::reduce_statements;
 pub use runner::{
     reproduces, Campaign, CampaignBuilder, CampaignReport, CampaignStats, Detection, FoundBug,

@@ -42,6 +42,7 @@ impl ErrorOracle {
             // failures out of REINDEX & friends are exactly the bugs the
             // paper found with the error oracle.
             StatementKind::Select
+            | StatementKind::Explain
             | StatementKind::Vacuum
             | StatementKind::Reindex
             | StatementKind::Analyze

@@ -1,0 +1,430 @@
+//! Query-plan guidance (QPG): plan-coverage feedback for campaigns.
+//!
+//! PQS explores exactly the database states its random generator happens to
+//! reach.  "Testing Database Engines via Query Plan Guidance" (Ba & Rigger)
+//! observes that the *query plans* a DBMS executes are a cheap, precise
+//! proxy for those states, and prescribes a feedback loop (§III of that
+//! paper): fingerprint the plan of every query, and when a database stops
+//! yielding **new** plans for N consecutive queries, mutate the database
+//! with plan-affecting statements (`CREATE INDEX`, `ANALYZE`,
+//! `DROP INDEX`) so subsequent queries are planned — and executed —
+//! differently.
+//!
+//! This module supplies the pieces the campaign runner threads through its
+//! worker loop when [`plan_guidance`](crate::CampaignBuilder::plan_guidance)
+//! is enabled:
+//!
+//! * [`PlanCoverage`] — the per-worker set of observed
+//!   [`PlanFingerprint`]s (the analogue of a coverage bitmap),
+//! * [`QpgConfig`] — the stagnation threshold N,
+//! * [`PlanGuide`] — the per-worker state machine: generate a probe query,
+//!   plan it against the live catalog ([`Engine::explain`] — planning never
+//!   executes anything), record the fingerprint, and mutate state once the
+//!   stagnation counter reaches N.
+//!
+//! Determinism: a guide only ever draws from the dedicated `qpg` RNG
+//! substream the runner derives per worker, so campaigns with guidance
+//! *off* (the default) are bit-for-bit identical to pre-QPG campaigns, and
+//! observation-only campaigns leave every oracle finding untouched.
+
+use std::collections::BTreeSet;
+
+use lancer_engine::{Engine, PlanFingerprint};
+use lancer_sql::ast::stmt::{Query, Select, SelectItem, Statement};
+use lancer_sql::ast::Expr;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::gen::{random_expression, random_value, GenConfig, StateGenerator, VisibleColumn};
+
+/// The set of plan fingerprints a campaign worker has observed.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCoverage {
+    seen: BTreeSet<u64>,
+}
+
+impl PlanCoverage {
+    /// An empty coverage set.
+    #[must_use]
+    pub fn new() -> PlanCoverage {
+        PlanCoverage::default()
+    }
+
+    /// Records a fingerprint; returns `true` if it was new.
+    pub fn observe(&mut self, fingerprint: PlanFingerprint) -> bool {
+        self.seen.insert(fingerprint.0)
+    }
+
+    /// Number of distinct plans observed so far.
+    #[must_use]
+    pub fn unique_plans(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Merges another worker's coverage into this one (set union).
+    pub fn merge(&mut self, other: &PlanCoverage) {
+        self.seen.extend(other.seen.iter().copied());
+    }
+}
+
+/// Tuning for the QPG feedback loop.
+#[derive(Debug, Clone)]
+pub struct QpgConfig {
+    /// Mutate the database after this many consecutive probe queries
+    /// without a new plan fingerprint (the paper's N).
+    pub stagnation_threshold: usize,
+}
+
+impl Default for QpgConfig {
+    fn default() -> Self {
+        QpgConfig { stagnation_threshold: 4 }
+    }
+}
+
+/// What a [`PlanGuide`] step did, for campaign statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuideStep {
+    /// Whether the probe query produced a fingerprint not seen before.
+    pub new_plan: bool,
+    /// Whether the step mutated the database state.
+    pub mutated: bool,
+}
+
+/// The per-worker QPG state machine.
+#[derive(Debug)]
+pub struct PlanGuide {
+    config: QpgConfig,
+    coverage: PlanCoverage,
+    stagnant: usize,
+    mutations: u64,
+    last_probe: Option<Query>,
+}
+
+impl PlanGuide {
+    /// A fresh guide with the given configuration.
+    #[must_use]
+    pub fn new(config: QpgConfig) -> PlanGuide {
+        PlanGuide {
+            config,
+            coverage: PlanCoverage::new(),
+            stagnant: 0,
+            mutations: 0,
+            last_probe: None,
+        }
+    }
+
+    /// The accumulated plan coverage.
+    #[must_use]
+    pub fn coverage(&self) -> &PlanCoverage {
+        &self.coverage
+    }
+
+    /// Number of state mutations performed.
+    #[must_use]
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Resets the stagnation counter (called per fresh database: stagnation
+    /// is a per-state property, plan coverage a per-worker one).
+    pub fn start_database(&mut self) {
+        self.stagnant = 0;
+    }
+
+    /// Runs one observation step: generate a probe query, plan it, record
+    /// the fingerprint and update the stagnation counter.  Never executes
+    /// the query or mutates any state.
+    pub fn observe<R: Rng>(&mut self, rng: &mut R, engine: &Engine, gen: &GenConfig) -> GuideStep {
+        let Some(query) = random_probe_query(rng, engine, gen) else {
+            return GuideStep { new_plan: false, mutated: false };
+        };
+        let new_plan = self.record(engine, &query);
+        self.last_probe = Some(query);
+        GuideStep { new_plan, mutated: false }
+    }
+
+    fn record(&mut self, engine: &Engine, query: &Query) -> bool {
+        let new_plan = self.coverage.observe(engine.explain(query).fingerprint());
+        if new_plan {
+            self.stagnant = 0;
+        } else {
+            self.stagnant += 1;
+        }
+        new_plan
+    }
+
+    /// Runs one full guidance step: [`observe`](PlanGuide::observe), then —
+    /// if the database has produced no new plan for N probes — execute one
+    /// plan-affecting mutation statement against the engine.  Successfully
+    /// executed mutations are appended to `log` so detection reproduction
+    /// scripts replay the exact state the oracles saw.
+    ///
+    /// Probe generation draws from `probe_rng` and mutations from the
+    /// separate `mutation_rng`: with the streams split this way, a guided
+    /// campaign observes the **same probe sequence** as the
+    /// observation-only baseline at the same seed, and differs only in the
+    /// catalogs those probes are planned against — which is what makes the
+    /// `table_qpg` comparison (and its strictly-more claim) meaningful.
+    pub fn guide<R: Rng>(
+        &mut self,
+        probe_rng: &mut R,
+        mutation_rng: &mut R,
+        engine: &mut Engine,
+        generator: &mut StateGenerator,
+        gen: &GenConfig,
+        log: &mut Vec<Statement>,
+    ) -> GuideStep {
+        let mut step = self.observe(probe_rng, engine, gen);
+        if self.stagnant >= self.config.stagnation_threshold {
+            if let Some(stmt) = random_plan_mutation(mutation_rng, engine, generator) {
+                if engine.execute(&stmt).is_ok() {
+                    log.push(stmt);
+                    self.mutations += 1;
+                    step.mutated = true;
+                    // Re-plan the last probe against the mutated catalog
+                    // (no RNG draws): the mutation is credited immediately
+                    // without perturbing the shared probe stream.
+                    if let Some(query) = self.last_probe.take() {
+                        step.new_plan |= self.record(engine, &query);
+                        self.last_probe = Some(query);
+                    }
+                }
+            }
+            self.stagnant = 0;
+        }
+        step
+    }
+}
+
+/// Generates a random probe query over the current catalog, shaped to
+/// exercise the planner's decision points: single- and multi-table `FROM`
+/// lists, equality probes (the index fast path), random predicates, and
+/// the `DISTINCT` / `GROUP BY` / `ORDER BY` / `LIMIT` wrappers that add
+/// plan nodes.
+///
+/// Returns `None` when the catalog has no tables yet.
+pub fn random_probe_query<R: Rng>(rng: &mut R, engine: &Engine, gen: &GenConfig) -> Option<Query> {
+    let mut tables = engine.database().table_names();
+    if tables.is_empty() {
+        return None;
+    }
+    tables.shuffle(rng);
+    let n = rng.gen_range(1..=gen.max_pivot_tables.max(1)).min(tables.len());
+    let from: Vec<String> = tables.into_iter().take(n).collect();
+    let columns: Vec<VisibleColumn> = from
+        .iter()
+        .flat_map(|t| {
+            engine.database().table(t).into_iter().flat_map(|table| {
+                table
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| VisibleColumn { table: t.clone(), meta: c.clone() })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let dialect = engine.dialect();
+    let mut select = Select::star(from);
+    // Bias towards bare equality probes: that is the WHERE shape the
+    // executor's index fast path (and therefore the planner's SEARCH
+    // decision) keys on.
+    select.where_clause = match rng.gen_range(0..10) {
+        0..=4 => columns
+            .choose(rng)
+            .map(|c| Expr::col(c.meta.name.clone()).eq(Expr::Literal(random_value(rng, dialect)))),
+        5..=7 => Some(random_expression(rng, &columns, dialect, 1)),
+        _ => None,
+    };
+    if rng.gen_bool(0.2) {
+        select.distinct = true;
+    }
+    if rng.gen_bool(0.2) {
+        if let Some(c) = columns.choose(rng) {
+            select.group_by = vec![Expr::col(c.meta.name.clone())];
+        }
+    }
+    if rng.gen_bool(0.2) {
+        if let Some(c) = columns.choose(rng) {
+            select.order_by = vec![lancer_sql::ast::stmt::OrderingTerm {
+                expr: Expr::col(c.meta.name.clone()),
+                descending: rng.gen_bool(0.5),
+                collation: None,
+            }];
+        }
+    }
+    if rng.gen_bool(0.15) {
+        select.limit = Some(rng.gen_range(1..=5));
+    }
+    if select.group_by.is_empty() && rng.gen_bool(0.15) {
+        select.items = vec![SelectItem::Expr {
+            expr: columns
+                .choose(rng)
+                .map(|c| Expr::col(c.meta.name.clone()))
+                .unwrap_or_else(|| Expr::int(1)),
+            alias: None,
+        }];
+    }
+    Some(Query::select(select))
+}
+
+/// Picks one plan-affecting state mutation — `CREATE INDEX`, `ANALYZE` or
+/// `DROP INDEX`, the statement classes QPG §III mutates with — reusing the
+/// campaign's [`StateGenerator`] so index names continue its sequence.
+pub fn random_plan_mutation<R: Rng>(
+    rng: &mut R,
+    engine: &Engine,
+    generator: &mut StateGenerator,
+) -> Option<Statement> {
+    let tables = engine.database().table_names();
+    let table = tables.choose(rng)?.clone();
+    match rng.gen_range(0..4) {
+        // CREATE INDEX opens SEARCH / covering-index plans.
+        0 | 1 => generator.random_create_index(rng, engine, &table),
+        // ANALYZE flips the statistics flag the planner renders.
+        2 => {
+            Some(Statement::Analyze { target: if rng.gen_bool(0.7) { Some(table) } else { None } })
+        }
+        // DROP INDEX walks plans back towards full scans.
+        _ => {
+            let droppable: Vec<String> = engine
+                .database()
+                .index_defs()
+                .iter()
+                .filter(|d| !d.implicit)
+                .map(|d| d.name.clone())
+                .collect();
+            match droppable.choose(rng) {
+                Some(name) => Some(Statement::DropIndex { name: name.clone(), if_exists: false }),
+                // Nothing to drop yet — fall back to creating one.
+                None => generator.random_create_index(rng, engine, &table),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancer_engine::Dialect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_with_state() -> Engine {
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT, c1 TEXT);
+             CREATE TABLE t1(c0 INT);
+             INSERT INTO t0(c0, c1) VALUES (1, 'a'), (2, 'b');
+             INSERT INTO t1(c0) VALUES (1);",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn coverage_counts_distinct_fingerprints() {
+        let mut cov = PlanCoverage::new();
+        assert!(cov.observe(PlanFingerprint(1)));
+        assert!(!cov.observe(PlanFingerprint(1)));
+        assert!(cov.observe(PlanFingerprint(2)));
+        assert_eq!(cov.unique_plans(), 2);
+        let mut other = PlanCoverage::new();
+        other.observe(PlanFingerprint(2));
+        other.observe(PlanFingerprint(3));
+        cov.merge(&other);
+        assert_eq!(cov.unique_plans(), 3);
+    }
+
+    #[test]
+    fn probe_queries_are_deterministic_and_planable() {
+        let engine = engine_with_state();
+        let gen = GenConfig::tiny();
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20)
+                .filter_map(|_| random_probe_query(&mut rng, &engine, &gen))
+                .map(|q| q.to_string())
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20)
+                .filter_map(|_| random_probe_query(&mut rng, &engine, &gen))
+                .map(|q| q.to_string())
+                .collect()
+        };
+        assert_eq!(a, b, "probe generation must be a pure function of the RNG");
+        assert_eq!(a.len(), 20, "a populated catalog always yields probes");
+    }
+
+    #[test]
+    fn probe_generation_needs_tables() {
+        let engine = Engine::new(Dialect::Sqlite);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_probe_query(&mut rng, &engine, &GenConfig::tiny()).is_none());
+    }
+
+    #[test]
+    fn guide_mutates_after_stagnation() {
+        let mut engine = engine_with_state();
+        let gen = GenConfig::tiny();
+        let mut generator = StateGenerator::new(Dialect::Sqlite, gen.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mutation_rng = StdRng::seed_from_u64(4);
+        let mut guide = PlanGuide::new(QpgConfig { stagnation_threshold: 2 });
+        guide.start_database();
+        let mut log = Vec::new();
+        let mut mutated = false;
+        for _ in 0..60 {
+            let step = guide.guide(
+                &mut rng,
+                &mut mutation_rng,
+                &mut engine,
+                &mut generator,
+                &gen,
+                &mut log,
+            );
+            mutated |= step.mutated;
+        }
+        assert!(mutated, "a tiny threshold must trigger mutations within 60 probes");
+        assert_eq!(guide.mutations() as usize, log.len(), "every mutation lands in the log");
+        assert!(
+            log.iter().all(|s| matches!(
+                s,
+                Statement::CreateIndex(_) | Statement::Analyze { .. } | Statement::DropIndex { .. }
+            )),
+            "mutations are restricted to plan-affecting statements: {log:?}"
+        );
+        assert!(guide.coverage().unique_plans() > 1, "probing must accumulate plan coverage");
+        // The log replays on a fresh engine: reproduction scripts stay valid.
+        let mut replay = Engine::new(Dialect::Sqlite);
+        replay
+            .execute_script(
+                "CREATE TABLE t0(c0 INT, c1 TEXT);
+                 CREATE TABLE t1(c0 INT);
+                 INSERT INTO t0(c0, c1) VALUES (1, 'a'), (2, 'b');
+                 INSERT INTO t1(c0) VALUES (1);",
+            )
+            .unwrap();
+        for stmt in &log {
+            replay.execute(stmt).unwrap_or_else(|e| panic!("replay of {stmt} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn observe_never_touches_engine_state() {
+        let mut engine = engine_with_state();
+        let before = format!("{:?}", engine.database());
+        let statements_before = engine.statements_executed();
+        let gen = GenConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut guide = PlanGuide::new(QpgConfig::default());
+        for _ in 0..40 {
+            guide.observe(&mut rng, &engine, &gen);
+        }
+        assert_eq!(format!("{:?}", engine.database()), before);
+        assert_eq!(engine.statements_executed(), statements_before);
+        let _ = &mut engine;
+    }
+}

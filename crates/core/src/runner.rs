@@ -42,6 +42,7 @@ use crate::oracle::{
     partition_union, row_multiset, Cadence, ErrorOracle, Oracle, OracleCtx, OracleRegistry,
     ReproSpec, RngStream,
 };
+use crate::qpg::{PlanCoverage, PlanGuide, QpgConfig};
 
 pub use crate::oracle::DetectionKind;
 
@@ -194,6 +195,9 @@ pub struct CampaignBuilder {
     bugs: Option<BugProfile>,
     registry: OracleRegistry,
     oracles: Vec<OracleSpec>,
+    plan_guidance: bool,
+    plan_observation: bool,
+    qpg: QpgConfig,
 }
 
 impl CampaignBuilder {
@@ -208,6 +212,9 @@ impl CampaignBuilder {
             bugs: None,
             registry: OracleRegistry::builtin(),
             oracles: Vec::new(),
+            plan_guidance: false,
+            plan_observation: false,
+            qpg: QpgConfig::default(),
         }
     }
 
@@ -260,6 +267,44 @@ impl CampaignBuilder {
     #[must_use]
     pub fn bugs(mut self, bugs: BugProfile) -> Self {
         self.bugs = Some(bugs);
+        self
+    }
+
+    /// Enables query-plan-guided state mutation (QPG, after Ba & Rigger):
+    /// each worker fingerprints the plans of probe queries against the live
+    /// catalog and, whenever a database yields no new plan for N
+    /// consecutive probes, mutates the state with a plan-affecting
+    /// statement (`CREATE INDEX` / `ANALYZE` / `DROP INDEX`) so subsequent
+    /// oracle checks run against states the planner has not covered.
+    ///
+    /// **Defaults to off**, and off means *bit-identical*: the guidance
+    /// machinery draws exclusively from a dedicated `qpg` RNG substream and
+    /// executes nothing unless enabled, so default campaigns reproduce
+    /// pre-QPG reports exactly at the same seed
+    /// (`plan_guidance_off_is_bit_identical` guards this).
+    #[must_use]
+    pub fn plan_guidance(mut self, enabled: bool) -> Self {
+        self.plan_guidance = enabled;
+        self
+    }
+
+    /// Observation-only plan coverage: fingerprint probe-query plans (so
+    /// [`CampaignStats::unique_plans`] is populated) without ever mutating
+    /// state.  This is the unguided baseline the `table_qpg` bench compares
+    /// against; oracle findings are unaffected.  Implied by
+    /// [`plan_guidance`](CampaignBuilder::plan_guidance).
+    #[must_use]
+    pub fn plan_observation(mut self, enabled: bool) -> Self {
+        self.plan_observation = enabled;
+        self
+    }
+
+    /// Tunes the QPG stagnation threshold (N probes without a new plan
+    /// before a mutation fires).  Only meaningful with
+    /// [`plan_guidance`](CampaignBuilder::plan_guidance).
+    #[must_use]
+    pub fn plan_stagnation(mut self, threshold: usize) -> Self {
+        self.qpg.stagnation_threshold = threshold.max(1);
         self
     }
 
@@ -337,6 +382,9 @@ impl CampaignBuilder {
             bugs,
             registry,
             oracles,
+            plan_guidance,
+            plan_observation,
+            qpg,
         } = self;
         let specs = if oracles.is_empty() {
             // The classic PQS pair, in the order the original runner used
@@ -359,7 +407,19 @@ impl CampaignBuilder {
                 OracleSpec::Instance(oracle) => oracle,
             })
             .collect();
-        Campaign { dialect, databases, queries_per_database, seed, gen, threads, bugs, oracles }
+        Campaign {
+            dialect,
+            databases,
+            queries_per_database,
+            seed,
+            gen,
+            threads,
+            bugs,
+            oracles,
+            plan_guidance,
+            plan_observation,
+            qpg,
+        }
     }
 
     /// Builds and runs the campaign.
@@ -379,6 +439,9 @@ pub struct Campaign {
     threads: usize,
     bugs: Option<BugProfile>,
     oracles: Vec<Box<dyn Oracle>>,
+    plan_guidance: bool,
+    plan_observation: bool,
+    qpg: QpgConfig,
 }
 
 impl fmt::Debug for Campaign {
@@ -429,7 +492,7 @@ impl Campaign {
         let mut coverage = lancer_engine::Coverage::new();
 
         let per_thread = self.databases.div_ceil(threads);
-        let results: Vec<(Vec<Detection>, CampaignStats, lancer_engine::Coverage)> =
+        let results: Vec<(Vec<Detection>, CampaignStats, lancer_engine::Coverage, PlanCoverage)> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
@@ -439,7 +502,8 @@ impl Campaign {
                 }
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             });
-        for (mut detections, s, c) in results {
+        let mut plan_coverage = PlanCoverage::new();
+        for (mut detections, s, c, p) in results {
             raw.append(&mut detections);
             stats.statements_executed += s.statements_executed;
             stats.queries_checked += s.queries_checked;
@@ -447,8 +511,11 @@ impl Campaign {
             stats.unexpected_errors += s.unexpected_errors;
             stats.crashes += s.crashes;
             stats.tlp_violations += s.tlp_violations;
+            stats.plan_mutations += s.plan_mutations;
             coverage.merge(&c);
+            plan_coverage.merge(&p);
         }
+        stats.unique_plans = plan_coverage.unique_plans();
 
         // Reduction + attribution + deduplication.  Deduplication is
         // per-domain (see [`DetectionKind::dedup_domain`]): the PQS kinds
@@ -527,7 +594,7 @@ impl Campaign {
         profile: &BugProfile,
         worker: u64,
         databases: usize,
-    ) -> (Vec<Detection>, CampaignStats, lancer_engine::Coverage) {
+    ) -> (Vec<Detection>, CampaignStats, lancer_engine::Coverage, PlanCoverage) {
         let worker_seed = self.seed ^ (worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut rng = StdRng::seed_from_u64(worker_seed);
         // Derived-stream oracles get substreams keyed by `(seed, worker,
@@ -554,15 +621,29 @@ impl Campaign {
                 stream
             })
             .collect();
+        // The QPG guide (if any) draws from its own substreams, derived
+        // like oracle substreams but under the reserved names "qpg"
+        // (probe generation) and "qpg-mutate" (state mutations), so its
+        // presence never perturbs generation or any oracle stream — and
+        // guided campaigns share the exact probe sequence with the
+        // observation-only baseline.
+        let mut guide = (self.plan_guidance || self.plan_observation).then(|| {
+            (
+                PlanGuide::new(self.qpg.clone()),
+                StdRng::seed_from_u64(worker_seed ^ fnv1a("qpg")),
+                StdRng::seed_from_u64(worker_seed ^ fnv1a("qpg-mutate")),
+            )
+        });
         let mut detections = Vec::new();
         let mut stats = CampaignStats::default();
         let mut coverage = lancer_engine::Coverage::new();
         for _ in 0..databases {
             let mut engine = Engine::with_bugs(self.dialect, profile.clone());
             let mut generator = StateGenerator::new(self.dialect, self.gen.clone());
-            let (log, failures) = generator.generate_database(&mut rng, &mut engine);
-            let ctx =
-                OracleCtx { dialect: self.dialect, gen: &self.gen, log: &log, failures: &failures };
+            let (mut log, failures) = generator.generate_database(&mut rng, &mut engine);
+            if let Some((guide, _, _)) = guide.as_mut() {
+                guide.start_database();
+            }
             for (i, oracle) in self.oracles.iter().enumerate() {
                 let runs = match oracle.cadence() {
                     Cadence::PerDatabase => 1,
@@ -572,9 +653,17 @@ impl Campaign {
                     if oracle.cadence() == Cadence::PerQuery {
                         stats.queries_checked += 1;
                     }
-                    let report = match derived[i].as_mut() {
-                        Some(substream) => oracle.check(substream, &mut engine, &ctx),
-                        None => oracle.check(&mut rng, &mut engine, &ctx),
+                    let report = {
+                        let ctx = OracleCtx {
+                            dialect: self.dialect,
+                            gen: &self.gen,
+                            log: &log,
+                            failures: &failures,
+                        };
+                        match derived[i].as_mut() {
+                            Some(substream) => oracle.check(substream, &mut engine, &ctx),
+                            None => oracle.check(&mut rng, &mut engine, &ctx),
+                        }
                     };
                     for witness in report.witnesses() {
                         match witness.kind() {
@@ -592,12 +681,39 @@ impl Campaign {
                             repro: witness.repro.clone(),
                         });
                     }
+                    // QPG step between query slots: observe a probe plan
+                    // and — in full guidance mode — mutate the state once
+                    // the plan stream stagnates, so the *remaining* checks
+                    // of this database run against a fresh plan space.
+                    // Mutations land in `log`, keeping every later
+                    // detection's reproduction script complete.
+                    if oracle.cadence() == Cadence::PerQuery {
+                        if let Some((guide, probe_rng, mutation_rng)) = guide.as_mut() {
+                            let step = if self.plan_guidance {
+                                guide.guide(
+                                    probe_rng,
+                                    mutation_rng,
+                                    &mut engine,
+                                    &mut generator,
+                                    &self.gen,
+                                    &mut log,
+                                )
+                            } else {
+                                guide.observe(probe_rng, &engine, &self.gen)
+                            };
+                            if step.mutated {
+                                stats.plan_mutations += 1;
+                            }
+                        }
+                    }
                 }
             }
             stats.statements_executed += engine.statements_executed();
             coverage.merge(engine.coverage());
         }
-        (detections, stats, coverage)
+        let plan_coverage =
+            guide.map(|(g, _, _)| g.coverage().clone()).unwrap_or_else(PlanCoverage::new);
+        (detections, stats, coverage, plan_coverage)
     }
 }
 
@@ -642,6 +758,11 @@ pub struct CampaignStats {
     pub spurious: u64,
     /// Detections that could not be attributed to a single fault.
     pub unattributed: u64,
+    /// Distinct plan fingerprints observed across all workers (0 unless
+    /// plan observation or guidance is enabled).
+    pub unique_plans: u64,
+    /// QPG state mutations executed (0 unless plan guidance is enabled).
+    pub plan_mutations: u64,
     /// Wall-clock duration in milliseconds.
     pub elapsed_ms: u128,
     /// Feature-coverage fraction reached on the engine (Table 4 analogue).

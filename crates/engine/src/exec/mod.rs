@@ -201,6 +201,18 @@ impl Engine {
                 self.cover("stmt.select");
                 self.exec_query(q)
             }
+            // EXPLAIN renders the deterministic plan as rows without
+            // executing the query.  It records no coverage point: the
+            // feature registry is part of the campaign-visible stats
+            // surface, and EXPLAIN never occurs in generated workloads.
+            Statement::Explain(q) => {
+                let plan = self.explain(q);
+                Ok(QueryResult {
+                    columns: vec!["QUERY PLAN".to_owned()],
+                    rows: plan.render().into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                    affected: 0,
+                })
+            }
             Statement::Vacuum { full } => self.exec_vacuum(*full),
             Statement::Reindex { target } => self.exec_reindex(target.as_deref()),
             Statement::Analyze { target } => self.exec_analyze(target.as_deref()),

@@ -11,6 +11,11 @@
 //! paper discovered.  With an empty [`BugProfile`] the engine is
 //! reference-correct; campaigns run it with faults enabled and let SQLancer
 //! (in `lancer-core`) rediscover them.
+//!
+//! The [`plan`] module adds a deterministic planner on top: `EXPLAIN`
+//! support via [`Engine::explain`], and [`PlanFingerprint`]s — the
+//! plan-coverage signal query-plan-guided campaigns in `lancer-core::qpg`
+//! feed on.
 
 #![warn(missing_docs)]
 
@@ -20,6 +25,7 @@ pub mod dialect;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod plan;
 
 pub use bugs::{BugId, BugInfo, BugProfile, BugStatus, Oracle};
 pub use coverage::Coverage;
@@ -27,3 +33,4 @@ pub use dialect::Dialect;
 pub use error::{EngineError, EngineResult, ErrorClass};
 pub use eval::{Evaluator, RowSchema, SourceSchema};
 pub use exec::{Engine, QueryResult};
+pub use plan::{PlanFingerprint, PlanNode, QueryPlan, ScanKind};

@@ -435,6 +435,7 @@ impl fmt::Display for Statement {
             Statement::Update(u) => write!(f, "{u}"),
             Statement::Delete(d) => write!(f, "{d}"),
             Statement::Select(q) => write!(f, "{q}"),
+            Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
             Statement::Vacuum { full } => {
                 if *full {
                     f.write_str("VACUUM FULL")

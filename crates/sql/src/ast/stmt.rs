@@ -456,6 +456,8 @@ pub enum Statement {
     Delete(Delete),
     /// A query (`SELECT`, possibly compound).
     Select(Query),
+    /// `EXPLAIN <query>`: report the query plan without executing the query.
+    Explain(Query),
     /// `VACUUM` (SQLite / PostgreSQL).
     Vacuum {
         /// `VACUUM FULL` (PostgreSQL).
@@ -557,6 +559,8 @@ pub enum StatementKind {
     CreateStats,
     /// PostgreSQL `DISCARD`
     Discard,
+    /// `EXPLAIN`
+    Explain,
 }
 
 impl StatementKind {
@@ -582,6 +586,7 @@ impl StatementKind {
             StatementKind::RepairCheckTable => "REPAIR/CHECK TABLE",
             StatementKind::CreateStats => "CREATE STATS",
             StatementKind::Discard => "DISCARD",
+            StatementKind::Explain => "EXPLAIN",
         }
     }
 }
@@ -601,6 +606,7 @@ impl Statement {
             Statement::Update(_) => StatementKind::Update,
             Statement::Delete(_) => StatementKind::Delete,
             Statement::Select(_) => StatementKind::Select,
+            Statement::Explain(_) => StatementKind::Explain,
             Statement::Vacuum { .. } => StatementKind::Vacuum,
             Statement::Reindex { .. } => StatementKind::Reindex,
             Statement::Analyze { .. } => StatementKind::Analyze,
@@ -616,10 +622,11 @@ impl Statement {
         }
     }
 
-    /// Returns `true` for statements that only read state (queries).
+    /// Returns `true` for statements that only read state (queries and
+    /// `EXPLAIN`, which only consults the catalog).
     #[must_use]
     pub fn is_read_only(&self) -> bool {
-        matches!(self, Statement::Select(_))
+        matches!(self, Statement::Select(_) | Statement::Explain(_))
     }
 }
 

@@ -28,6 +28,10 @@ impl Parser {
             "UPDATE" => self.parse_update(),
             "DELETE" => self.parse_delete(),
             "SELECT" => Ok(Statement::Select(self.parse_query()?)),
+            "EXPLAIN" => {
+                self.advance();
+                Ok(Statement::Explain(self.parse_query()?))
+            }
             "VACUUM" => {
                 self.advance();
                 let full = self.eat_keyword("FULL");
@@ -825,6 +829,7 @@ mod tests {
             "SELECT DISTINCT * FROM t1 WHERE (t1.c3 = 1)",
             "SELECT '' - 2851427734582196970",
             "DELETE FROM t0 WHERE (c0 > 3)",
+            "EXPLAIN SELECT * FROM t0 WHERE (c0 = 1)",
         ];
         for s in scripts {
             let stmt = parse_statement(s).unwrap();
