@@ -37,13 +37,16 @@ impl Engine {
                         "SELECTs to the left and right of a compound operator do not have the same number of result columns",
                     ));
                 }
+                // Both operands are owned, so dedup/concat moves rows into
+                // the output instead of cloning them per row.
+                let columns = l.columns;
                 let rows = match op {
                     CompoundOp::Intersect => {
                         self.cover("exec.compound_intersect");
                         let mut out: Vec<Vec<Value>> = Vec::new();
-                        for row in &l.rows {
-                            if r.contains_row(row) && !contains(&out, row) {
-                                out.push(row.clone());
+                        for row in l.rows {
+                            if r.contains_row(&row) && !contains(&out, &row) {
+                                out.push(row);
                             }
                         }
                         out
@@ -51,31 +54,31 @@ impl Engine {
                     CompoundOp::Union => {
                         self.cover("exec.compound_union");
                         let mut out: Vec<Vec<Value>> = Vec::new();
-                        for row in l.rows.iter().chain(r.rows.iter()) {
-                            if !contains(&out, row) {
-                                out.push(row.clone());
+                        for row in l.rows.into_iter().chain(r.rows) {
+                            if !contains(&out, &row) {
+                                out.push(row);
                             }
                         }
                         out
                     }
                     CompoundOp::UnionAll => {
                         self.cover("exec.compound_union");
-                        let mut out = l.rows.clone();
-                        out.extend(r.rows.iter().cloned());
+                        let mut out = l.rows;
+                        out.extend(r.rows);
                         out
                     }
                     CompoundOp::Except => {
                         self.cover("exec.compound_except");
                         let mut out: Vec<Vec<Value>> = Vec::new();
-                        for row in &l.rows {
-                            if !r.contains_row(row) && !contains(&out, row) {
-                                out.push(row.clone());
+                        for row in l.rows {
+                            if !r.contains_row(&row) && !contains(&out, &row) {
+                                out.push(row);
                             }
                         }
                         out
                     }
                 };
-                Ok(QueryResult { columns: l.columns, rows, affected: 0 })
+                Ok(QueryResult { columns, rows, affected: 0 })
             }
         }
     }
@@ -300,13 +303,25 @@ impl Engine {
         }
 
         let mut schema = RowSchema::default();
-        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
-        for src in &sources {
-            if sources.len() > 1 {
+        let multi_source = sources.len() > 1;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (i, src) in sources.into_iter().enumerate() {
+            if multi_source {
                 self.cover("exec.cross_join");
             }
-            schema.sources.push(src.schema.clone());
-            rows = cross_product(&rows, &src.rows);
+            schema.sources.push(src.schema);
+            // The first source's rows seed the join pipeline without any
+            // copy; later sources pay exactly one allocation per output
+            // row in `cross_product`.
+            if i == 0 {
+                rows = src.rows;
+            } else {
+                rows = cross_product(&rows, &src.rows);
+            }
+        }
+        if schema.sources.is_empty() {
+            // No FROM clause: a single constant row.
+            rows = vec![Vec::new()];
         }
         // Explicit joins.
         for join in &s.joins {
@@ -327,8 +342,7 @@ impl Engine {
                 JoinKind::Inner => {
                     for l in &rows {
                         for r in &right.rows {
-                            let mut combined = l.clone();
-                            combined.extend(r.iter().cloned());
+                            let combined = concat_row(l, r);
                             let keep = match &join.on {
                                 Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
                                 None => true,
@@ -343,8 +357,7 @@ impl Engine {
                     for l in &rows {
                         let mut matched = false;
                         for r in &right.rows {
-                            let mut combined = l.clone();
-                            combined.extend(r.iter().cloned());
+                            let combined = concat_row(l, r);
                             let keep = match &join.on {
                                 Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
                                 None => true,
@@ -355,7 +368,8 @@ impl Engine {
                             }
                         }
                         if !matched {
-                            let mut combined = l.clone();
+                            let mut combined = Vec::with_capacity(l.len() + right_width);
+                            combined.extend_from_slice(l);
                             combined.extend(std::iter::repeat_n(Value::Null, right_width));
                             next.push(combined);
                         }
@@ -845,12 +859,20 @@ fn cross_product(left: &[Vec<Value>], right: &[Vec<Value>]) -> Vec<Vec<Value>> {
     let mut out = Vec::with_capacity(left.len() * right.len().max(1));
     for l in left {
         for r in right {
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
-            out.push(combined);
+            out.push(concat_row(l, r));
         }
     }
     out
+}
+
+/// Concatenates two row halves with a single exact-size allocation (the
+/// clone-then-extend idiom this replaces paid a second allocation on the
+/// `extend` growth path for every joined row pair).
+fn concat_row(l: &[Value], r: &[Value]) -> Vec<Value> {
+    let mut combined = Vec::with_capacity(l.len() + r.len());
+    combined.extend_from_slice(l);
+    combined.extend_from_slice(r);
+    combined
 }
 
 /// Returns `true` if any node of the expression satisfies the predicate.
