@@ -709,6 +709,24 @@ mod tests {
         }
     }
 
+    /// Every table's full contents, in table order: the replay-equality
+    /// key for `generated_databases_have_rows_and_reproduce`.
+    fn table_contents(engine: &Engine) -> Vec<(String, Vec<Vec<Value>>)> {
+        engine
+            .database()
+            .table_names()
+            .into_iter()
+            .map(|name| {
+                let rows: Vec<Vec<Value>> = engine
+                    .database()
+                    .table(&name)
+                    .map(|t| t.rows().map(|r| r.values).collect())
+                    .unwrap_or_default();
+                (name, rows)
+            })
+            .collect()
+    }
+
     #[test]
     fn generated_databases_have_rows_and_reproduce() {
         for dialect in Dialect::ALL {
@@ -719,14 +737,22 @@ mod tests {
             assert!(!log.is_empty());
             assert!(!engine.database().table_names().is_empty());
             assert!(engine.database().total_rows() > 0, "dialect {dialect:?} generated no rows");
-            // The statement log replays cleanly on a fresh engine.
+            // The statement log replays cleanly on a fresh engine...
             let mut replay = Engine::new(dialect);
             for stmt in &log {
                 replay
                     .execute(stmt)
                     .unwrap_or_else(|e| panic!("replay of {stmt} failed for {dialect:?}: {e}"));
             }
-            assert_eq!(replay.database().total_rows(), engine.database().total_rows());
+            // ...and reaches the *identical* database, row for row and
+            // value for value — a row-count comparison would let an
+            // executor regression that reorders, duplicates or rewrites
+            // replayed state slip through.
+            assert_eq!(
+                table_contents(&replay),
+                table_contents(&engine),
+                "replayed state diverged for {dialect:?}"
+            );
         }
     }
 

@@ -44,6 +44,7 @@ pub mod interp;
 pub mod oracle;
 pub mod qpg;
 pub mod reduce;
+pub mod replay;
 pub mod runner;
 
 pub use gen::{GenConfig, StateGenerator, VisibleColumn};
@@ -56,7 +57,8 @@ pub use oracle::{
     TlpOracle,
 };
 pub use qpg::{PlanCoverage, PlanGuide, QpgConfig};
-pub use reduce::reduce_statements;
+pub use reduce::{reduce_indices, reduce_statements};
+pub use replay::{ReplayCache, ReplayCacheStats, ReplaySession};
 pub use runner::{
     reproduces, Campaign, CampaignBuilder, CampaignReport, CampaignStats, Detection, FoundBug,
 };

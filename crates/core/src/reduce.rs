@@ -16,7 +16,25 @@ pub fn reduce_statements(
     statements: &[Statement],
     still_fails: &dyn Fn(&[Statement]) -> bool,
 ) -> Vec<Statement> {
-    let mut current: Vec<Statement> = statements.to_vec();
+    let mut scratch: Vec<Statement> = Vec::with_capacity(statements.len());
+    let kept = reduce_indices(statements.len(), &mut |keep| {
+        scratch.clear();
+        scratch.extend(keep.iter().map(|&i| statements[i].clone()));
+        still_fails(&scratch)
+    });
+    kept.into_iter().map(|i| statements[i].clone()).collect()
+}
+
+/// The delta-debugging core, phrased over *indices* into an immutable
+/// statement log: candidates are ascending index subsets, so callers that
+/// can check a candidate without materialising it (the runner's
+/// [`crate::replay::ReplaySession`]) never clone a statement per attempt.
+///
+/// Explores exactly the candidate sequence the statement-level reducer
+/// always has — greedy chunk deletion with halving chunk sizes — so
+/// reduction results are unchanged, only their cost.
+pub fn reduce_indices(len: usize, still_fails: &mut dyn FnMut(&[usize]) -> bool) -> Vec<usize> {
+    let mut current: Vec<usize> = (0..len).collect();
     if !still_fails(&current) {
         return current;
     }
@@ -93,5 +111,37 @@ mod tests {
         let stmts = parse_script("SELECT 1; SELECT 2; SELECT 3;").unwrap();
         let reduced = reduce_statements(&stmts, &|_| true);
         assert_eq!(reduced.len(), 1);
+    }
+
+    #[test]
+    fn index_reduction_explores_the_same_candidates() {
+        // The index-level reducer must visit the exact candidate sequence
+        // the statement-level API does (the statement API is now a shim
+        // over it, but this pins the equivalence observably).
+        let stmts = parse_script(
+            "CREATE TABLE t0(c0);
+             CREATE TABLE t1(c0);
+             INSERT INTO t0(c0) VALUES (1);
+             ANALYZE;
+             SELECT * FROM t0;",
+        )
+        .unwrap();
+        let predicate = |candidate: &[Statement]| {
+            let sql: Vec<String> = candidate.iter().map(ToString::to_string).collect();
+            sql.iter().any(|s| s.starts_with("CREATE TABLE t0"))
+                && sql.iter().any(|s| s.starts_with("SELECT"))
+        };
+        let by_statements = reduce_statements(&stmts, &predicate);
+        let by_indices = reduce_indices(stmts.len(), &mut |keep| {
+            let candidate: Vec<Statement> = keep.iter().map(|&i| stmts[i].clone()).collect();
+            predicate(&candidate)
+        });
+        let from_indices: Vec<Statement> =
+            by_indices.into_iter().map(|i| stmts[i].clone()).collect();
+        assert_eq!(
+            by_statements.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            from_indices.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        assert_eq!(by_statements.len(), 2);
     }
 }

@@ -1,0 +1,484 @@
+//! Prefix-keyed replay caching for reduction and attribution.
+//!
+//! The post-campaign pipeline re-executes statement logs constantly: the
+//! spurious filter replays every detection twice, delta debugging replays
+//! `O(n log n)` candidate subsequences, and attribution replays the
+//! reduced case once per enabled fault.  All of those candidates are
+//! subsequences of the *same* detection log, and detections from the same
+//! generated database share their whole generation-log prefix — so most
+//! of the work is re-running statements an earlier replay already ran on
+//! an identical engine state.
+//!
+//! [`ReplayCache`] memoizes engine snapshots keyed by *(fault profile,
+//! statement-log prefix)*: a replay walks the deepest cached prefix of
+//! its candidate, clones that snapshot, and executes only the suffix.
+//! [`ReplaySession`] binds the cache to one detection's parsed statement
+//! log, hashing each statement exactly once — candidates are index
+//! subsets, so reduction never re-renders, re-parses or re-clones a
+//! statement.
+//!
+//! Correctness is bit-for-bit: an engine snapshot taken after executing a
+//! prefix on a fresh engine *is* the state a full replay would reach
+//! (statement atomicity means failed setup statements leave the database
+//! unchanged while still advancing the statement counter, which is why
+//! the counter equals the prefix length either way), so cached and
+//! uncached replays return identical verdicts.  The cache only ever
+//! changes how much work a verdict costs — `tests/determinism.rs` and the
+//! pinned snapshots in `tests/qpg.rs` hold across it unchanged.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::{self, Write as _};
+
+use lancer_engine::{BugProfile, Dialect, Engine};
+use lancer_sql::ast::stmt::Statement;
+
+use crate::oracle::{partition_union, row_multiset, ErrorOracle, ReproSpec};
+
+/// Memoized engine snapshots keyed by fault profile and statement-log
+/// prefix, shared across every replay of a campaign's post-processing.
+#[derive(Debug)]
+pub struct ReplayCache {
+    dialect: Dialect,
+    snapshots: HashMap<u64, Engine>,
+    /// Prefixes walked once already.  A snapshot costs an engine clone, so
+    /// one is only taken when a prefix *recurs* — cold prefixes (most of a
+    /// one-shot replay) never pay it, recurring ones (shared generation
+    /// logs, surviving reduction candidates) pay it once and then serve
+    /// every later replay.
+    seen: HashSet<u64>,
+    /// Memoized verdicts keyed by (profile, full statement sequence,
+    /// repro spec).  Delta debugging re-tries the same candidate across
+    /// outer rounds — most blatantly the final no-change sweep, which
+    /// re-replays every candidate against the settled sequence — and the
+    /// engine is deterministic, so an identical question has an identical
+    /// answer.
+    verdicts: HashMap<u64, bool>,
+    max_snapshots: usize,
+    stats: ReplayCacheStats,
+}
+
+/// Counters describing how much replay work the cache absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayCacheStats {
+    /// Replays that resumed from a cached prefix snapshot.
+    pub prefix_hits: u64,
+    /// Replays that started from a fresh engine.
+    pub prefix_misses: u64,
+    /// Replays answered entirely from the verdict memo (no execution).
+    pub verdict_hits: u64,
+    /// Setup statements actually executed across all replays.
+    pub statements_replayed: u64,
+    /// Setup statements skipped because a snapshot already covered them.
+    pub statements_skipped: u64,
+}
+
+impl ReplayCache {
+    /// Default bound on retained snapshots.  Generation logs are small
+    /// (tens of statements over tiny databases), so even the bound's
+    /// worst case is a few megabytes; once full, the cache keeps the
+    /// entries it has — the earliest-inserted prefixes are the shared
+    /// generation logs, which are exactly the most valuable ones.
+    const DEFAULT_MAX_SNAPSHOTS: usize = 4096;
+
+    /// Creates a cache for replays against the given dialect.
+    #[must_use]
+    pub fn new(dialect: Dialect) -> ReplayCache {
+        ReplayCache::with_max_snapshots(dialect, ReplayCache::DEFAULT_MAX_SNAPSHOTS)
+    }
+
+    /// Creates a cache with an explicit snapshot bound (0 disables
+    /// snapshotting entirely; verdicts are unaffected, only cost).
+    #[must_use]
+    pub fn with_max_snapshots(dialect: Dialect, max_snapshots: usize) -> ReplayCache {
+        ReplayCache {
+            dialect,
+            snapshots: HashMap::new(),
+            seen: HashSet::new(),
+            verdicts: HashMap::new(),
+            max_snapshots,
+            stats: ReplayCacheStats::default(),
+        }
+    }
+
+    /// The dialect this cache replays against.
+    #[must_use]
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Work counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ReplayCacheStats {
+        self.stats
+    }
+
+    /// Number of snapshots currently retained.
+    #[must_use]
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Cached equivalent of [`crate::runner::reproduces`]: same verdict,
+    /// but the setup replay resumes from the deepest cached prefix.
+    #[must_use]
+    pub fn reproduces(
+        &mut self,
+        profile: &BugProfile,
+        statements: &[Statement],
+        repro: &ReproSpec,
+    ) -> bool {
+        let refs: Vec<&Statement> = statements.iter().collect();
+        let hashes: Vec<u64> = refs.iter().map(|s| statement_hash(s)).collect();
+        self.reproduces_refs(profile, &refs, &hashes, repro)
+    }
+
+    /// The shared replay core: `stmts[..len-1]` is the setup (replayed
+    /// through the snapshot cache), the last statement is the trigger
+    /// checked against the repro spec.
+    fn reproduces_refs(
+        &mut self,
+        profile: &BugProfile,
+        stmts: &[&Statement],
+        hashes: &[u64],
+        repro: &ReproSpec,
+    ) -> bool {
+        if stmts.is_empty() {
+            return false;
+        }
+        let sequence_key =
+            hashes.iter().fold(profile_key(self.dialect, profile), |key, h| combine(key, *h));
+        let verdict_key = combine(sequence_key, repro_hash(repro));
+        if let Some(&verdict) = self.verdicts.get(&verdict_key) {
+            self.stats.verdict_hits += 1;
+            return verdict;
+        }
+        let setup = &stmts[..stmts.len() - 1];
+        let mut engine = self.engine_after(profile, setup, &hashes[..setup.len()]);
+        let verdict = confirms(&mut engine, stmts[stmts.len() - 1], repro);
+        if self.verdicts.len() < self.max_snapshots * 16 {
+            self.verdicts.insert(verdict_key, verdict);
+        }
+        verdict
+    }
+
+    /// Returns an engine in the state reached by executing `setup` on a
+    /// fresh engine with `profile`, resuming from the deepest cached
+    /// prefix and snapshotting every new prefix along the way.
+    fn engine_after(
+        &mut self,
+        profile: &BugProfile,
+        setup: &[&Statement],
+        hashes: &[u64],
+    ) -> Engine {
+        // keys[i] identifies (profile, setup[..i]).
+        let mut keys = Vec::with_capacity(setup.len() + 1);
+        let mut key = profile_key(self.dialect, profile);
+        keys.push(key);
+        for h in hashes {
+            key = combine(key, *h);
+            keys.push(key);
+        }
+        let mut start = 0;
+        let mut engine: Option<Engine> = None;
+        for i in (1..=setup.len()).rev() {
+            if let Some(snapshot) = self.snapshots.get(&keys[i]) {
+                engine = Some(snapshot.clone());
+                start = i;
+                break;
+            }
+        }
+        if start > 0 {
+            self.stats.prefix_hits += 1;
+        } else {
+            self.stats.prefix_misses += 1;
+        }
+        self.stats.statements_skipped += start as u64;
+        let mut engine = engine.unwrap_or_else(|| Engine::with_bugs(self.dialect, profile.clone()));
+        for i in start..setup.len() {
+            // Setup statements may legitimately fail after reduction removed
+            // their prerequisites; keep going, mirroring SQLancer's reducer.
+            let _ = engine.execute(setup[i]);
+            self.stats.statements_replayed += 1;
+            let key = keys[i + 1];
+            if self.seen.contains(&key) {
+                if self.snapshots.len() < self.max_snapshots {
+                    self.snapshots.insert(key, engine.clone());
+                }
+            } else if self.seen.len() < self.max_snapshots * 16 {
+                self.seen.insert(key);
+            }
+        }
+        engine
+    }
+}
+
+/// One detection's statement log bound to a [`ReplayCache`]: statements
+/// are hashed once, and every reduction/attribution candidate is just an
+/// index subset of the log.
+#[derive(Debug)]
+pub struct ReplaySession<'a> {
+    cache: &'a mut ReplayCache,
+    statements: &'a [Statement],
+    hashes: Vec<u64>,
+}
+
+impl<'a> ReplaySession<'a> {
+    /// Binds a detection's statement log to the cache.
+    #[must_use]
+    pub fn new(cache: &'a mut ReplayCache, statements: &'a [Statement]) -> ReplaySession<'a> {
+        let hashes = statements.iter().map(statement_hash).collect();
+        ReplaySession { cache, statements, hashes }
+    }
+
+    /// Number of statements in the bound log.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Returns `true` when the bound log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Checks whether the subsequence of the log selected by `keep`
+    /// (indices in ascending order) still reproduces the detection under
+    /// `profile` — the cached equivalent of building the candidate
+    /// statement vector and calling [`crate::runner::reproduces`].
+    #[must_use]
+    pub fn reproduces_subset(
+        &mut self,
+        profile: &BugProfile,
+        keep: &[usize],
+        repro: &ReproSpec,
+    ) -> bool {
+        let stmts: Vec<&Statement> = keep.iter().map(|&i| &self.statements[i]).collect();
+        let hashes: Vec<u64> = keep.iter().map(|&i| self.hashes[i]).collect();
+        self.cache.reproduces_refs(profile, &stmts, &hashes, repro)
+    }
+
+    /// [`reproduces_subset`](ReplaySession::reproduces_subset) over the
+    /// whole log.
+    #[must_use]
+    pub fn reproduces_all(&mut self, profile: &BugProfile, repro: &ReproSpec) -> bool {
+        let stmts: Vec<&Statement> = self.statements.iter().collect();
+        let hashes = self.hashes.clone();
+        self.cache.reproduces_refs(profile, &stmts, &hashes, repro)
+    }
+}
+
+/// Checks the trigger statement against the repro spec on an engine that
+/// has already replayed the setup — the oracle-specific half of
+/// [`crate::runner::reproduces`], shared by the cached and uncached
+/// paths so the two can never diverge.
+pub(crate) fn confirms(engine: &mut Engine, last: &Statement, repro: &ReproSpec) -> bool {
+    match engine.execute(last) {
+        Ok(result) => match repro {
+            // A containment failure only counts when the triggering
+            // statement is still the query itself; otherwise the "missing
+            // row" would be trivially true for any non-query statement.
+            ReproSpec::MissingRow(row) if last.is_read_only() => !result.contains_row(row),
+            // A TLP mismatch reproduces when the partition union still
+            // disagrees with the unpartitioned result; partition errors
+            // mean the mismatch cannot be confirmed.
+            ReproSpec::PartitionMismatch { partitions } if last.is_read_only() => {
+                let expected = row_multiset(&result.rows);
+                match partition_union(engine, partitions) {
+                    Some(union) => expected != union,
+                    None => false,
+                }
+            }
+            _ => false,
+        },
+        Err(e) => match repro {
+            ReproSpec::Crash => e.is_crash(),
+            ReproSpec::UnexpectedError => !e.is_crash() && !ErrorOracle.is_expected(last, &e),
+            // A logic detection reproduces only when the query runs; an
+            // error is a different failure mode and must be attributed
+            // through an Error/Crash detection instead.
+            ReproSpec::MissingRow(_) | ReproSpec::PartitionMismatch { .. } => false,
+        },
+    }
+}
+
+/// FNV-1a over a statement's SQL rendering, computed without allocating
+/// the string (a `fmt::Write` sink hashes the fragments as they stream).
+fn statement_hash(stmt: &Statement) -> u64 {
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    let _ = write!(w, "{stmt}");
+    w.0
+}
+
+/// A stable key for a [`ReproSpec`], for the verdict memo.
+fn repro_hash(repro: &ReproSpec) -> u64 {
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    match repro {
+        ReproSpec::MissingRow(row) => {
+            let _ = w.write_str("missing-row");
+            for v in row {
+                let _ = write!(w, "\u{1f}{}", v.to_sql_literal());
+            }
+        }
+        ReproSpec::UnexpectedError => {
+            let _ = w.write_str("unexpected-error");
+        }
+        ReproSpec::Crash => {
+            let _ = w.write_str("crash");
+        }
+        ReproSpec::PartitionMismatch { partitions } => {
+            let _ = w.write_str("partition-mismatch");
+            for p in partitions {
+                let _ = write!(w, "\u{1f}{p}");
+            }
+        }
+    }
+    w.0
+}
+
+struct FnvWriter(u64);
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// A stable key for (dialect, enabled fault set).
+fn profile_key(dialect: Dialect, profile: &BugProfile) -> u64 {
+    let mut key = splitmix(dialect as u64 ^ 0x7265_706c_6179_3031);
+    for bug in profile.iter() {
+        key = combine(key, bug as u64);
+    }
+    key
+}
+
+/// Order-dependent 64-bit hash combinator with a strong finalizer, so
+/// prefix keys of different logs (and different profiles) collide only
+/// with negligible probability.
+fn combine(key: u64, value: u64) -> u64 {
+    splitmix(key ^ value.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(key << 6))
+}
+
+/// The splitmix64 finalizer.
+fn splitmix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancer_sql::value::Value;
+
+    fn script(sql: &str) -> Vec<Statement> {
+        lancer_sql::parse_script(sql).unwrap()
+    }
+
+    #[test]
+    fn cached_verdicts_match_the_uncached_path() {
+        let stmts = script(
+            "CREATE TABLE t0(c0);
+             INSERT INTO t0(c0) VALUES (1), (2);
+             CREATE INDEX i0 ON t0(c0);
+             SELECT * FROM t0;",
+        );
+        let mut cache = ReplayCache::new(Dialect::Sqlite);
+        // Three distinct repro rows exercise all three cache tiers: the
+        // first walk marks prefixes, the second snapshots them, the third
+        // resumes from snapshots — and an exact repeat hits the verdict
+        // memo without replaying at all.
+        for row in [vec![Value::Integer(1)], vec![Value::Integer(7)], vec![Value::Integer(9)]] {
+            let repro = ReproSpec::MissingRow(row);
+            for profile in [BugProfile::none(), lancer_engine::BugProfile::all_for(Dialect::Sqlite)]
+            {
+                let uncached = crate::runner::reproduces(Dialect::Sqlite, &profile, &stmts, &repro);
+                assert_eq!(cache.reproduces(&profile, &stmts, &repro), uncached);
+                assert_eq!(cache.reproduces(&profile, &stmts, &repro), uncached);
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.prefix_hits > 0, "third walks must resume from snapshots: {stats:?}");
+        assert!(stats.verdict_hits > 0, "exact repeats must hit the verdict memo: {stats:?}");
+        assert!(stats.statements_skipped > 0);
+    }
+
+    #[test]
+    fn subset_replays_only_execute_their_suffix() {
+        let stmts = script(
+            "CREATE TABLE t0(c0);
+             INSERT INTO t0(c0) VALUES (1);
+             INSERT INTO t0(c0) VALUES (2);
+             INSERT INTO t0(c0) VALUES (3);
+             SELECT * FROM t0;",
+        );
+        let mut cache = ReplayCache::new(Dialect::Sqlite);
+        let mut session = ReplaySession::new(&mut cache, &stmts);
+        let repro_a = ReproSpec::MissingRow(vec![Value::Integer(1)]);
+        let repro_b = ReproSpec::MissingRow(vec![Value::Integer(99)]);
+        let none = BugProfile::none();
+        // First walk marks the prefixes, second walk (a recurrence, here a
+        // different repro question over the same log) takes the snapshots —
+        // cold one-shot replays never pay for cloning.
+        assert!(!session.reproduces_all(&none, &repro_a));
+        assert_eq!(session.cache.snapshot_count(), 0, "cold prefixes are not snapshotted");
+        assert!(session.reproduces_all(&none, &repro_b));
+        assert!(session.cache.snapshot_count() > 0, "recurring prefixes are snapshotted");
+        let executed_full = session.cache.stats().statements_replayed;
+        // Dropping statement 3 keeps the prefix [0, 1, 2] cached: only the
+        // trigger runs again, no setup statement is re-executed.
+        assert!(!session.reproduces_subset(&none, &[0, 1, 2, 4], &repro_a));
+        let stats = session.cache.stats();
+        assert_eq!(stats.statements_replayed, executed_full, "suffix-only replay");
+        assert_eq!(stats.statements_skipped, 3);
+        // The same question again is answered from the verdict memo.
+        assert!(!session.reproduces_subset(&none, &[0, 1, 2, 4], &repro_a));
+        assert_eq!(session.cache.stats().statements_replayed, executed_full);
+        assert!(session.cache.stats().verdict_hits > 0);
+    }
+
+    #[test]
+    fn profiles_never_share_snapshots() {
+        let stmts = script("CREATE TABLE t0(c0); INSERT INTO t0(c0) VALUES (1); SELECT * FROM t0;");
+        let mut cache = ReplayCache::new(Dialect::Sqlite);
+        // Two different questions over the same log force two walks per
+        // profile (an identical question would short-circuit in the
+        // verdict memo without walking).
+        let repro_a = ReproSpec::MissingRow(vec![Value::Integer(1)]);
+        let repro_b = ReproSpec::MissingRow(vec![Value::Integer(2)]);
+        let none = BugProfile::none();
+        let all = lancer_engine::BugProfile::all_for(Dialect::Sqlite);
+        let _ = cache.reproduces(&none, &stmts, &repro_a);
+        let _ = cache.reproduces(&none, &stmts, &repro_b);
+        let before = cache.snapshot_count();
+        assert!(before > 0);
+        let _ = cache.reproduces(&all, &stmts, &repro_a);
+        assert_eq!(cache.snapshot_count(), before, "a new profile starts cold");
+        let _ = cache.reproduces(&all, &stmts, &repro_b);
+        assert_eq!(cache.snapshot_count(), before * 2, "distinct profile, distinct prefixes");
+    }
+
+    #[test]
+    fn zero_capacity_disables_snapshots_but_not_verdicts() {
+        let stmts = script("CREATE TABLE t0(c0); SELECT * FROM t0;");
+        let mut cache = ReplayCache::with_max_snapshots(Dialect::Sqlite, 0);
+        let repro = ReproSpec::MissingRow(vec![Value::Integer(1)]);
+        assert!(cache.reproduces(&BugProfile::none(), &stmts, &repro));
+        assert_eq!(cache.snapshot_count(), 0);
+        assert_eq!(cache.stats().prefix_hits, 0);
+    }
+
+    #[test]
+    fn statement_hashes_key_on_rendered_sql() {
+        let a = lancer_sql::parse_statement("SELECT 1").unwrap();
+        let b = lancer_sql::parse_statement("SELECT  1").unwrap();
+        let c = lancer_sql::parse_statement("SELECT 2").unwrap();
+        assert_eq!(statement_hash(&a), statement_hash(&b), "whitespace-equal statements agree");
+        assert_ne!(statement_hash(&a), statement_hash(&c));
+    }
+}

@@ -38,11 +38,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::gen::{GenConfig, StateGenerator};
-use crate::oracle::{
-    partition_union, row_multiset, Cadence, ErrorOracle, Oracle, OracleCtx, OracleRegistry,
-    ReproSpec, RngStream,
-};
+use crate::oracle::{Cadence, Oracle, OracleCtx, OracleRegistry, ReproSpec, RngStream};
 use crate::qpg::{PlanCoverage, PlanGuide, QpgConfig};
+use crate::reduce::reduce_indices;
+use crate::replay::{ReplayCache, ReplaySession};
 
 pub use crate::oracle::DetectionKind;
 
@@ -523,22 +522,28 @@ impl Campaign {
         // first-detection-wins semantics bit for bit — while each
         // independent logic oracle deduplicates on its own, so its
         // presence never changes the other columns of Table 3.
+        //
+        // Every replay here — the spurious filter, each delta-debugging
+        // candidate, each per-fault attribution run — goes through one
+        // [`ReplayCache`]: candidates are index subsets of the detection
+        // log, and a replay resumes from the deepest snapshot whose
+        // statement-log prefix it shares (detections from the same
+        // generated database share their whole generation log).  Verdicts
+        // are bit-identical to fresh replays; only the cost changes.
+        let mut cache = ReplayCache::new(self.dialect);
         let mut found: Vec<FoundBug> = Vec::new();
         let mut seen: BTreeMap<&'static str, BTreeSet<BugId>> = BTreeMap::new();
+        let none = BugProfile::none();
         for detection in raw {
+            let mut session = ReplaySession::new(&mut cache, &detection.statements);
             // Discard detections that also "reproduce" without any fault:
             // those indicate oracle divergence, the analogue of a false bug
             // report.
-            if reproduces(
-                self.dialect,
-                &BugProfile::none(),
-                &detection.statements,
-                &detection.repro,
-            ) {
+            if session.reproduces_all(&none, &detection.repro) {
                 stats.spurious += 1;
                 continue;
             }
-            if !reproduces(self.dialect, &profile, &detection.statements, &detection.repro) {
+            if !session.reproduces_all(&profile, &detection.repro) {
                 // Not deterministic enough to analyse (e.g. depends on
                 // statement counters); skip rather than misattribute.
                 stats.unattributed += 1;
@@ -549,7 +554,12 @@ impl Campaign {
             // fault-free engine.  Without the second condition the reducer
             // could drop the statements that make the pivot row exist in
             // the first place.
-            let reduced = reduce_candidate(self.dialect, &profile, &detection);
+            let reduced_keep = reduce_indices(detection.statements.len(), &mut |keep| {
+                session.reproduces_subset(&profile, keep, &detection.repro)
+                    && !session.reproduces_subset(&none, keep, &detection.repro)
+            });
+            let reduced: Vec<&Statement> =
+                reduced_keep.iter().map(|&i| &detection.statements[i]).collect();
             let domain_seen = seen.entry(detection.kind().dedup_domain()).or_default();
             let mut attributed: Vec<BugId> = Vec::new();
             for bug in profile.iter() {
@@ -557,7 +567,7 @@ impl Campaign {
                     continue;
                 }
                 let single = BugProfile::with(&[bug]);
-                if reproduces(self.dialect, &single, &reduced, &detection.repro) {
+                if session.reproduces_subset(&single, &reduced_keep, &detection.repro) {
                     attributed.push(bug);
                 }
             }
@@ -573,11 +583,15 @@ impl Campaign {
                     oracle: detection.oracle.to_owned(),
                     status: bug.info().status,
                     reduced_sql: reduced.iter().map(ToString::to_string).collect(),
-                    statement_kinds: reduced.iter().map(Statement::kind).collect(),
+                    statement_kinds: reduced.iter().map(|s| s.kind()).collect(),
                     message: detection.message.clone(),
                 });
             }
         }
+        let replay = cache.stats();
+        stats.replay_statements_executed = replay.statements_replayed;
+        stats.replay_statements_skipped = replay.statements_skipped;
+        stats.replay_verdict_hits = replay.verdict_hits;
 
         stats.elapsed_ms = started.elapsed().as_millis().max(1);
         stats.coverage_fraction = coverage.fraction();
@@ -726,17 +740,6 @@ fn fnv1a(name: &str) -> u64 {
     hash
 }
 
-fn reduce_candidate(
-    dialect: Dialect,
-    profile: &BugProfile,
-    detection: &Detection,
-) -> Vec<Statement> {
-    crate::reduce::reduce_statements(&detection.statements, &|candidate| {
-        reproduces(dialect, profile, candidate, &detection.repro)
-            && !reproduces(dialect, &BugProfile::none(), candidate, &detection.repro)
-    })
-}
-
 /// Aggregate statistics of a campaign.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CampaignStats {
@@ -763,6 +766,14 @@ pub struct CampaignStats {
     pub unique_plans: u64,
     /// QPG state mutations executed (0 unless plan guidance is enabled).
     pub plan_mutations: u64,
+    /// Setup statements executed during reduction/attribution replays.
+    pub replay_statements_executed: u64,
+    /// Setup statements the prefix-keyed [`ReplayCache`] served from a
+    /// snapshot instead of re-executing.
+    pub replay_statements_skipped: u64,
+    /// Reduction/attribution replays answered entirely from the replay
+    /// cache's verdict memo (no statement executed at all).
+    pub replay_verdict_hits: u64,
     /// Wall-clock duration in milliseconds.
     pub elapsed_ms: u128,
     /// Feature-coverage fraction reached on the engine (Table 4 analogue).
@@ -970,6 +981,11 @@ pub struct ConstraintStats {
 /// Re-executes a test case on a fresh engine with the given fault profile
 /// and reports whether the detection still reproduces according to its
 /// [`ReproSpec`].
+///
+/// This is the uncached one-shot entry point; the campaign runner replays
+/// through a [`ReplayCache`] instead, which resumes from memoized prefix
+/// snapshots but returns the same verdicts (both end in
+/// `replay::confirms`).
 #[must_use]
 pub fn reproduces(
     dialect: Dialect,
@@ -987,34 +1003,7 @@ pub fn reproduces(
         // their prerequisites; keep going, mirroring SQLancer's reducer.
         let _ = engine.execute(stmt);
     }
-    let last = &last[0];
-    match engine.execute(last) {
-        Ok(result) => match repro {
-            // A containment failure only counts when the triggering
-            // statement is still the query itself; otherwise the "missing
-            // row" would be trivially true for any non-query statement.
-            ReproSpec::MissingRow(row) if last.is_read_only() => !result.contains_row(row),
-            // A TLP mismatch reproduces when the partition union still
-            // disagrees with the unpartitioned result; partition errors
-            // mean the mismatch cannot be confirmed.
-            ReproSpec::PartitionMismatch { partitions } if last.is_read_only() => {
-                let expected = row_multiset(&result.rows);
-                match partition_union(&mut engine, partitions) {
-                    Some(union) => expected != union,
-                    None => false,
-                }
-            }
-            _ => false,
-        },
-        Err(e) => match repro {
-            ReproSpec::Crash => e.is_crash(),
-            ReproSpec::UnexpectedError => !e.is_crash() && !ErrorOracle.is_expected(last, &e),
-            // A logic detection reproduces only when the query runs; an
-            // error is a different failure mode and must be attributed
-            // through an Error/Crash detection instead.
-            ReproSpec::MissingRow(_) | ReproSpec::PartitionMismatch { .. } => false,
-        },
-    }
+    crate::replay::confirms(&mut engine, &last[0], repro)
 }
 
 /// Runs a campaign for one dialect (the pre-builder API).
@@ -1145,6 +1134,23 @@ mod tests {
             &stmts,
             &ReproSpec::PartitionMismatch { partitions: partitions[..2].to_vec() }
         ));
+    }
+
+    #[test]
+    fn replay_cache_absorbs_reduction_work() {
+        let report = quick_campaign(Dialect::Sqlite).databases(10).queries(40).run();
+        assert!(!report.found.is_empty(), "need detections for the cache to see replays");
+        let s = &report.stats;
+        assert!(
+            s.replay_statements_skipped > 0,
+            "prefix snapshots must absorb replay work (executed {}, skipped {})",
+            s.replay_statements_executed,
+            s.replay_statements_skipped,
+        );
+        assert!(
+            s.replay_verdict_hits > 0,
+            "repeated delta-debugging candidates must hit the verdict memo",
+        );
     }
 
     #[test]

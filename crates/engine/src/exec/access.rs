@@ -1,0 +1,103 @@
+//! Catalog facts shared by the executor and the planner.
+//!
+//! The planner (`crate::plan`) models the executor's access-path choices
+//! from the catalog alone; the executor's pipeline assembly
+//! (`crate::exec::pipeline`) makes the real choice.  Both read the *same*
+//! facts from this module so the two can never drift apart:
+//!
+//! * [`find_equality_probe`] — the `col = literal` WHERE shape that makes
+//!   a single-table query eligible for an index probe at all,
+//! * [`probe_candidates`] — the non-partial indexes whose first key is
+//!   the probed column, in catalog order.
+//!
+//! The executor probes the **first** candidate unconditionally — its fast
+//! path is deliberately collation-oblivious, which is exactly the gap the
+//! paper's §4.4 collation bugs hide in.  The planner walks the same
+//! candidate list but additionally applies the soundness rule a real
+//! planner would (a text probe requires the index's first-key collation
+//! to match the column's) and the covering-index distinction.  Where the
+//! two disagree, the plan reports the sound choice and the executor takes
+//! the fast path — a documented divergence, not drift: both start from
+//! the candidate list below.
+
+use lancer_sql::ast::expr::{BinaryOp, Expr};
+use lancer_sql::value::Value;
+use lancer_storage::index::Index;
+use lancer_storage::Database;
+
+/// Detects a WHERE clause that is exactly `col = literal` (either operand
+/// order) and returns the probed column and literal.  The WHERE root must
+/// be the equality itself; conjunctions are not searched, mirroring the
+/// narrow fast path the executor implements.
+#[must_use]
+pub(crate) fn find_equality_probe(expr: &Expr) -> Option<(String, Value)> {
+    match expr {
+        Expr::Binary { op: BinaryOp::Eq, left, right } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => {
+                Some((c.column.clone(), v.clone()))
+            }
+            (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => {
+                Some((c.column.clone(), v.clone()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The indexes on `table` that an equality probe on `col` could use:
+/// non-partial, with the probed column as their first key expression, in
+/// catalog order.  The executor probes the first entry; the planner
+/// filters the same list further (collation soundness, covering
+/// detection).
+#[must_use]
+pub(crate) fn probe_candidates<'a>(db: &'a Database, table: &str, col: &str) -> Vec<&'a Index> {
+    db.indexes_on(table)
+        .into_iter()
+        .filter(|i| {
+            i.def.where_clause.is_none()
+                && matches!(
+                    i.def.exprs.first(),
+                    Some(Expr::Column(c)) if c.column.eq_ignore_ascii_case(col)
+                )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+    use crate::exec::Engine;
+
+    #[test]
+    fn equality_probe_requires_a_literal_root() {
+        let probe = |sql: &str| {
+            find_equality_probe(&lancer_sql::parser::parse_expression(sql).unwrap())
+                .map(|(c, v)| (c, v.to_sql_literal()))
+        };
+        assert_eq!(probe("c0 = 1"), Some(("c0".into(), "1".into())));
+        assert_eq!(probe("2 = c1"), Some(("c1".into(), "2".into())));
+        assert_eq!(probe("c0 = NULL"), None, "NULL probes are never index-eligible");
+        assert_eq!(probe("c0 = 1 AND c1 = 2"), None, "conjunctions are not searched");
+        assert_eq!(probe("c0 > 1"), None);
+    }
+
+    #[test]
+    fn probe_candidates_skip_partial_and_wrong_first_key() {
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT, c1 INT);
+             CREATE INDEX i_partial ON t0(c0) WHERE c0 IS NOT NULL;
+             CREATE INDEX i_second ON t0(c1, c0);
+             CREATE INDEX i_match ON t0(c0, c1);",
+        )
+        .unwrap();
+        let names: Vec<&str> = probe_candidates(e.database(), "t0", "c0")
+            .iter()
+            .map(|i| i.def.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["i_match"]);
+        assert!(probe_candidates(e.database(), "t0", "nope").is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Row batches: the unit of data flow between executor pipeline operators.
+//!
+//! The batched pipeline (see `exec::pipeline`) passes one [`RowBatch`]
+//! from operator to operator instead of threading loose `Vec<Vec<Value>>`
+//! values and a separate schema through a monolithic function.  The
+//! schema is stored once per batch behind an [`Arc`], so operators that
+//! do not change the shape of the rows (filters, sorts, truncation)
+//! hand it on for free, and operators that extend it (joins) mutate it
+//! in place via [`Arc::make_mut`] — the batch is the only owner while a
+//! query executes, so no copy happens there either.
+
+use std::sync::Arc;
+
+use lancer_sql::value::Value;
+
+use crate::eval::RowSchema;
+
+/// A batch of rows flowing between pipeline operators, together with the
+/// schema all of them share.
+#[derive(Debug, Clone)]
+pub struct RowBatch {
+    /// The flattened source schema describing every row of the batch.
+    /// Projection replaces source rows with output rows; from then on the
+    /// schema is empty and [`RowBatch::columns`] carries the labels.
+    pub schema: Arc<RowSchema>,
+    /// Output column labels, set by the projection/aggregation operator
+    /// (empty while the batch still carries source rows).
+    pub columns: Vec<String>,
+    /// The rows.  Operators consume the batch by value, so rows move
+    /// through the pipeline without per-stage copies.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl RowBatch {
+    /// An empty batch with an empty schema (the pipeline input).
+    #[must_use]
+    pub fn empty() -> RowBatch {
+        RowBatch { schema: Arc::new(RowSchema::empty()), columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Number of rows in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the batch holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_has_no_rows_and_no_schema() {
+        let b = RowBatch::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.schema.width(), 0);
+        assert!(b.columns.is_empty());
+    }
+}

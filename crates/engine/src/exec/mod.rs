@@ -1,9 +1,13 @@
 //! Statement execution: the engine façade and dispatch.
 
+pub(crate) mod access;
+pub mod batch;
 mod ddl;
 mod dml;
 mod maintenance;
+mod pipeline;
 mod query;
+mod reference;
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -48,7 +52,11 @@ impl QueryResult {
 
 /// One emulated DBMS instance: a dialect profile, a fault profile and a
 /// database.  This is the system under test that SQLancer drives.
-#[derive(Debug)]
+///
+/// Engines are `Clone`: a clone is a full snapshot of the database,
+/// option state and statement counter, which is what the replay cache in
+/// `lancer-core` memoizes per statement-log prefix.
+#[derive(Debug, Clone)]
 pub struct Engine {
     dialect: Dialect,
     bugs: BugProfile,

@@ -1,0 +1,757 @@
+//! The batched `SELECT` operator pipeline.
+//!
+//! `exec_select` used to be one monolithic function that threaded loose
+//! row vectors through nested per-row loops.  It is now assembled as a
+//! sequence of composable operators — [`Operator::Scan`],
+//! [`Operator::Join`], [`Operator::IndexProbe`], [`Operator::Filter`],
+//! [`Operator::Project`] / [`Operator::Aggregate`], [`Operator::Distinct`],
+//! [`Operator::Sort`], [`Operator::Limit`] — each consuming and producing
+//! a [`RowBatch`].  Batches move between stages by value (no per-stage
+//! copies), the schema is stored once per batch, and a `SELECT *`
+//! projection over unaliased sources is the identity on the batch.
+//!
+//! **Determinism contract.**  The pipeline is a pure restructuring of the
+//! original straight-line evaluator, which is retained verbatim as
+//! `exec::reference` and compared against it by a property suite
+//! (`tests/pipeline_differential.rs`): same rows in the same order, same
+//! errors, same coverage points — and every injected fault (the
+//! Listing-1/Listing-2 shapes and friends) fires at exactly the same rows
+//! as before.  Operator assembly reads the catalog through
+//! [`exec::access`](crate::exec::access), the same facts `crate::plan`
+//! models, so the executor's scan-kind choice and the plan tree cannot
+//! drift apart.
+
+use std::sync::Arc;
+
+use lancer_sql::ast::expr::{Expr, TypeName};
+use lancer_sql::ast::stmt::{Join as JoinClause, JoinKind, Select, SelectItem};
+use lancer_sql::collation::Collation;
+use lancer_sql::value::Value;
+
+use crate::bugs::BugId;
+use crate::error::EngineResult;
+use crate::eval::RowSchema;
+use crate::exec::access::{find_equality_probe, probe_candidates};
+use crate::exec::batch::RowBatch;
+use crate::exec::query::{
+    concat_row, cross_product, expr_references_column, find_is_not_literal_column,
+    rewrite_like_int_affinity,
+};
+use crate::exec::{Engine, QueryResult};
+
+/// One stage of the physical pipeline for a `SELECT`.
+///
+/// Operators are assembled from the query shape alone ([`assemble`]);
+/// catalog- and fault-dependent decisions happen inside
+/// [`Operator::apply`], at the same points of the data flow as in the
+/// reference evaluator.
+pub(crate) enum Operator<'q> {
+    /// Load every `FROM` source, apply the MEMORY-engine join fault, and
+    /// fold the sources into one batch (cross product).
+    Scan,
+    /// One explicit `JOIN` clause: load the right source and combine.
+    Join(&'q JoinClause),
+    /// Single-`FROM` index interactions: the partial-index NOT NULL fault
+    /// (Listing 1) and the equality-probe fast path.
+    IndexProbe,
+    /// The `WHERE` filter (including the LIKE-optimisation fault rewrite).
+    Filter(&'q Expr),
+    /// Plain projection (including the poisoned-column fault).
+    Project,
+    /// Grouping / aggregation projection (including the poisoned-column,
+    /// inheritance-GROUP BY and NOCASE-group faults).
+    Aggregate,
+    /// `SELECT DISTINCT` deduplication (including the skip-scan and
+    /// NULL-as-zero faults).
+    Distinct,
+    /// `ORDER BY`.
+    Sort,
+    /// `LIMIT` / `OFFSET`.
+    Limit,
+}
+
+/// Assembles the operator pipeline for a `SELECT` from its query shape.
+/// The stage order is fixed and matches the reference evaluator: scan,
+/// joins, index interactions, filter, projection/aggregation, distinct,
+/// sort, truncation.
+pub(crate) fn assemble(s: &Select) -> Vec<Operator<'_>> {
+    let mut ops = vec![Operator::Scan];
+    for join in &s.joins {
+        ops.push(Operator::Join(join));
+    }
+    if s.from.len() == 1 {
+        ops.push(Operator::IndexProbe);
+    }
+    if let Some(w) = &s.where_clause {
+        ops.push(Operator::Filter(w));
+    }
+    let has_aggregate = s.group_by.iter().any(Expr::contains_aggregate)
+        || s.having.as_ref().is_some_and(Expr::contains_aggregate)
+        || s.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            SelectItem::Wildcard => false,
+        });
+    ops.push(if !s.group_by.is_empty() || has_aggregate {
+        Operator::Aggregate
+    } else {
+        Operator::Project
+    });
+    if s.distinct {
+        ops.push(Operator::Distinct);
+    }
+    if !s.order_by.is_empty() {
+        ops.push(Operator::Sort);
+    }
+    if s.limit.is_some() || s.offset.is_some() {
+        ops.push(Operator::Limit);
+    }
+    ops
+}
+
+impl<'q> Operator<'q> {
+    /// Runs the operator: consumes the incoming batch, produces the next.
+    pub(crate) fn apply(
+        &self,
+        engine: &mut Engine,
+        s: &'q Select,
+        batch: RowBatch,
+    ) -> EngineResult<RowBatch> {
+        match self {
+            Operator::Scan => engine.op_scan(s),
+            Operator::Join(join) => engine.op_join(join, batch),
+            Operator::IndexProbe => engine.op_index_probe(s, batch),
+            Operator::Filter(w) => engine.op_filter(w, batch),
+            Operator::Project => engine.op_project(s, batch),
+            Operator::Aggregate => engine.op_aggregate(s, batch),
+            Operator::Distinct => engine.op_distinct(s, batch),
+            Operator::Sort => engine.op_sort(s, batch),
+            Operator::Limit => engine.op_limit(s, batch),
+        }
+    }
+}
+
+impl Engine {
+    pub(crate) fn exec_select(&mut self, s: &Select) -> EngineResult<QueryResult> {
+        self.select_preflight(s)?;
+        let mut batch = RowBatch::empty();
+        for op in assemble(s) {
+            batch = op.apply(self, s, batch)?;
+        }
+        Ok(QueryResult { columns: batch.columns, rows: batch.rows, affected: 0 })
+    }
+
+    /// Loads the `FROM` sources and folds them into the initial batch.
+    fn op_scan(&mut self, s: &Select) -> EngineResult<RowBatch> {
+        let mut sources = Vec::with_capacity(s.from.len());
+        for name in &s.from {
+            sources.push(self.load_source(name)?);
+        }
+        let multi_table = s.from.len() + s.joins.len() > 1;
+        // Injected fault: joins with MEMORY-engine tables drop rows whose
+        // key needs an implicit cast (negative integers) — Listing 11.
+        if multi_table
+            && s.where_clause.is_some()
+            && self.bugs().is_enabled(BugId::MysqlMemoryEngineJoinMiss)
+        {
+            for src in &mut sources {
+                if src.memory_engine {
+                    src.rows
+                        .retain(|r| !r.iter().any(|v| matches!(v, Value::Integer(i) if *i < 0)));
+                }
+            }
+        }
+
+        let mut schema = RowSchema::default();
+        let multi_source = sources.len() > 1;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (i, src) in sources.into_iter().enumerate() {
+            if multi_source {
+                self.cover("exec.cross_join");
+            }
+            schema.sources.push(src.schema);
+            // The first source's rows seed the pipeline without any copy.
+            if i == 0 {
+                rows = src.rows;
+            } else {
+                rows = cross_product(&rows, &src.rows);
+            }
+        }
+        if schema.sources.is_empty() {
+            // No FROM clause: a single constant row.
+            rows = vec![Vec::new()];
+        }
+        Ok(RowBatch { schema: Arc::new(schema), columns: Vec::new(), rows })
+    }
+
+    /// One explicit join: loads the right source lazily (so errors keep
+    /// their original order relative to earlier joins' evaluation) and
+    /// combines the batch with it.
+    fn op_join(&mut self, join: &JoinClause, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        let right = self.load_source(&join.table)?;
+        let right_width = right.schema.columns.len();
+        Arc::make_mut(&mut batch.schema).sources.push(right.schema);
+        let schema = &batch.schema;
+        match join.kind {
+            JoinKind::Cross => self.cover("exec.cross_join"),
+            JoinKind::Inner => self.cover("exec.inner_join"),
+            JoinKind::Left => self.cover("exec.left_join"),
+        }
+        let ev = self.evaluator();
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        match join.kind {
+            JoinKind::Cross => {
+                next = cross_product(&batch.rows, &right.rows);
+            }
+            JoinKind::Inner => {
+                for l in &batch.rows {
+                    for r in &right.rows {
+                        let combined = concat_row(l, r);
+                        let keep = match &join.on {
+                            Some(on) => ev.eval_predicate(on, schema, &combined)?.is_true(),
+                            None => true,
+                        };
+                        if keep {
+                            next.push(combined);
+                        }
+                    }
+                }
+            }
+            JoinKind::Left => {
+                for l in &batch.rows {
+                    let mut matched = false;
+                    for r in &right.rows {
+                        let combined = concat_row(l, r);
+                        let keep = match &join.on {
+                            Some(on) => ev.eval_predicate(on, schema, &combined)?.is_true(),
+                            None => true,
+                        };
+                        if keep {
+                            matched = true;
+                            next.push(combined);
+                        }
+                    }
+                    if !matched {
+                        let mut combined = Vec::with_capacity(l.len() + right_width);
+                        combined.extend_from_slice(l);
+                        combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                        next.push(combined);
+                    }
+                }
+            }
+        }
+        batch.rows = next;
+        Ok(batch)
+    }
+
+    /// Single-`FROM` index interactions: the Listing-1 partial-index fault
+    /// first, then the equality-probe fast path (single source only).
+    fn op_index_probe(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        // Injected fault: a partial index whose predicate is `col NOT NULL`
+        // is (incorrectly) used for `col IS NOT <literal>` conditions,
+        // dropping NULL pivot rows (Listing 1).
+        if self.bugs().is_enabled(BugId::SqlitePartialIndexImpliesNotNull) {
+            if let Some(w) = &s.where_clause {
+                if let Some(col) = find_is_not_literal_column(w) {
+                    let table = &s.from[0];
+                    let has_partial = self.db.indexes_on(table).iter().any(|i| {
+                        i.def.where_clause.as_ref().is_some_and(|p| {
+                            matches!(p, Expr::IsNull { negated: true, expr }
+                                if expr_references_column(expr, &col))
+                        })
+                    });
+                    if has_partial {
+                        self.cover("exec.partial_index");
+                        if let Some((ci, _)) = batch
+                            .schema
+                            .resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&col))
+                        {
+                            batch.rows.retain(|r| !r[ci].is_null());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Index fast path for single-table equality predicates.  Without
+        // any fault this is result-preserving; several faults corrupt it.
+        if s.joins.is_empty() {
+            if let Some(w) = &s.where_clause {
+                if let Some((col, lit)) = find_equality_probe(w) {
+                    let schema = Arc::clone(&batch.schema);
+                    batch.rows =
+                        self.index_equality_probe(&s.from[0], &col, &lit, &schema, batch.rows)?;
+                }
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Uses an index to narrow down candidate rows for `col = literal`
+    /// predicates on a single table.  The full WHERE clause is still
+    /// applied afterwards, so with a correctly maintained index this is
+    /// result-preserving.
+    ///
+    /// The candidate index comes from [`probe_candidates`] — the same
+    /// catalog fact the planner's `eligible_index` reads — and the
+    /// executor takes the first one *without* the planner's collation
+    /// soundness filter (deliberately: that gap is where the §4.4
+    /// collation faults live).
+    fn index_equality_probe(
+        &mut self,
+        table: &str,
+        col: &str,
+        lit: &Value,
+        schema: &RowSchema,
+        rows: Vec<Vec<Value>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        let Some(t) = self.db.table(table) else { return Ok(rows) };
+        let table_schema = t.schema.clone();
+        let Some(col_meta) = table_schema.column(col).cloned() else { return Ok(rows) };
+        let index_name = probe_candidates(&self.db, table, col).first().map(|i| i.def.name.clone());
+        let Some(index_name) = index_name else { return Ok(rows) };
+        self.cover("exec.index_lookup");
+        let mut probe = lit.clone();
+        // Injected fault: probes against an INTEGER PRIMARY KEY are coerced
+        // to integers even when the stored value is text (§4.4).
+        if self.bugs().is_enabled(BugId::SqliteRowidAliasInsertMismatch)
+            && col_meta.primary_key
+            && col_meta.type_name == Some(TypeName::Integer)
+        {
+            probe = Value::Integer(probe.to_integer_lenient().unwrap_or(0));
+        }
+        let binary_probe = self.bugs().is_enabled(BugId::SqliteCollateIndexBinaryKeys);
+        let index = self.db.index(&index_name).expect("index just resolved");
+        let matching: Vec<u64> = if binary_probe {
+            index
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.key.first().is_some_and(|k| {
+                        k.total_cmp(&probe, Collation::Binary) == std::cmp::Ordering::Equal
+                    })
+                })
+                .map(|e| e.row_id)
+                .collect()
+        } else {
+            index
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.key.first().is_some_and(|k| {
+                        let coll = index.def.collations.first().copied().unwrap_or_default();
+                        match (k, &probe) {
+                            (Value::Text(a), Value::Text(b)) => coll.equal(a, b),
+                            _ => k.same_as(&probe),
+                        }
+                    })
+                })
+                .map(|e| e.row_id)
+                .collect()
+        };
+        // Map row ids back to full rows; fall back to the scan rows when the
+        // id is gone (defensive).
+        let t = self.db.require_table(table)?;
+        let mut out = Vec::new();
+        for rid in matching {
+            if let Some(row) = t.get(rid) {
+                out.push(row.values);
+            }
+        }
+        // Keep rows that the index cannot serve (e.g. rows whose key the
+        // comparison treats as equal across storage classes) out of the
+        // result only if the index is authoritative; with schema width
+        // mismatches (views), fall back to the original rows.
+        if schema.width() != t.schema.columns.len() {
+            return Ok(rows);
+        }
+        Ok(out)
+    }
+
+    /// The `WHERE` filter over one batch.
+    fn op_filter(&mut self, w: &Expr, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        self.cover("exec.where_filter");
+        // Injected fault: the LIKE optimisation on INTEGER-affinity NOCASE
+        // columns rejects exact matches (Listing 7).  The rewrite clones
+        // the predicate tree, so it only runs with the fault enabled.
+        let rewritten;
+        let where_clause: &Expr =
+            if self.bugs().is_enabled(BugId::SqliteLikeIntAffinityOptimisation) {
+                rewritten = rewrite_like_int_affinity(w, &batch.schema);
+                &rewritten
+            } else {
+                w
+            };
+        let ev = self.evaluator();
+        let mut kept = Vec::new();
+        for r in batch.rows {
+            if ev.eval_predicate(where_clause, &batch.schema, &r)?.is_true() {
+                kept.push(r);
+            }
+        }
+        batch.rows = kept;
+        Ok(batch)
+    }
+
+    /// Poisoned projection after RENAME COLUMN + double-quoted index
+    /// expression (Listing 8): rewrites affected columns in place before
+    /// the batch is projected (plain or aggregate path alike).
+    fn apply_poisoned_columns(&mut self, s: &Select, batch: &mut RowBatch) {
+        if s.from.len() != 1 {
+            return;
+        }
+        let table = &s.from[0];
+        let poisons: Vec<(String, String)> = self
+            .poisoned_columns
+            .iter()
+            .filter(|(t, _, _)| t.eq_ignore_ascii_case(table))
+            .map(|(_, new, old)| (new.clone(), old.clone()))
+            .collect();
+        for (new_name, old_name) in poisons {
+            if let Some((ci, _)) =
+                batch.schema.resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&new_name))
+            {
+                for r in &mut batch.rows {
+                    r[ci] = Value::Text(old_name.to_ascii_uppercase());
+                }
+            }
+        }
+    }
+
+    /// The output column labels of a projection.
+    fn projection_columns(&self, s: &Select, schema: &RowSchema) -> Vec<String> {
+        let mut columns: Vec<String> = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, c) in schema.flat_columns() {
+                        columns.push(c.name);
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+                }
+            }
+        }
+        columns
+    }
+
+    /// Plain (non-aggregate) projection.
+    fn op_project(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        self.apply_poisoned_columns(s, &mut batch);
+        let columns = self.projection_columns(s, &batch.schema);
+        // `SELECT *` is the identity on the batch: source rows *are* the
+        // output rows, so they move through unchanged instead of being
+        // cloned value by value.
+        if let [SelectItem::Wildcard] = s.items.as_slice() {
+            batch.columns = columns;
+            return Ok(batch);
+        }
+        let ev = self.evaluator();
+        let mut projected = Vec::with_capacity(batch.rows.len());
+        for r in &batch.rows {
+            let mut out_row = Vec::with_capacity(columns.len());
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => out_row.extend(r.iter().cloned()),
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(ev.eval(expr, &batch.schema, r)?)
+                    }
+                }
+            }
+            projected.push(out_row);
+        }
+        batch.columns = columns;
+        batch.rows = projected;
+        Ok(batch)
+    }
+
+    /// Grouping / aggregation projection.
+    fn op_aggregate(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        self.apply_poisoned_columns(s, &mut batch);
+        self.cover("exec.group_by");
+        let schema = Arc::clone(&batch.schema);
+        let ev = self.evaluator();
+        // Build groups.  The batch's rows are consumed directly — the
+        // reference evaluator's row-at-a-time shape forced a full copy of
+        // the input here.
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
+        let mut input_rows: Vec<Vec<Value>> = std::mem::take(&mut batch.rows);
+
+        // Injected fault: GROUP BY over an inheritance parent merges child
+        // rows with parent rows that share the first grouping key
+        // (Listing 15).
+        if self.bugs().is_enabled(BugId::PostgresInheritanceGroupByMissingRow)
+            && !s.group_by.is_empty()
+            && s.from.len() == 1
+            && !self.db.children_of(&s.from[0]).is_empty()
+        {
+            let mut seen: Vec<Value> = Vec::new();
+            let mut filtered = Vec::new();
+            for r in input_rows {
+                let key = ev.eval(&s.group_by[0], &schema, &r)?;
+                if seen.iter().any(|k| k.same_as(&key)) {
+                    continue;
+                }
+                seen.push(key);
+                filtered.push(r);
+            }
+            input_rows = filtered;
+        }
+
+        if s.group_by.is_empty() {
+            group_keys.push(Vec::new());
+            groups.push(input_rows);
+        } else {
+            let drop_null_groups = self.bugs().is_enabled(BugId::SqliteGroupByNoCaseDuplicates)
+                && s.group_by.iter().any(|g| ev.collation_of(g, &schema) == Collation::NoCase);
+            for r in input_rows {
+                let mut key = Vec::with_capacity(s.group_by.len());
+                for g in &s.group_by {
+                    key.push(ev.eval(g, &schema, &r)?);
+                }
+                // Injected fault: NULL-keyed groups are dropped when grouping
+                // on a NOCASE column (§4.4 COLLATE bugs).
+                if drop_null_groups && key.iter().any(Value::is_null) {
+                    continue;
+                }
+                match group_keys.iter().position(|k| {
+                    k.len() == key.len() && k.iter().zip(key.iter()).all(|(a, b)| a.same_as(b))
+                }) {
+                    Some(i) => groups[i].push(r),
+                    None => {
+                        group_keys.push(key);
+                        groups.push(vec![r]);
+                    }
+                }
+            }
+        }
+
+        let columns = self.projection_columns(s, &schema);
+        let mut out_rows = Vec::new();
+        for group in &groups {
+            // HAVING.
+            if let Some(h) = &s.having {
+                self.cover("exec.having");
+                let hv = self.eval_aggregate_expr(h, &schema, group)?;
+                if !self.evaluator().value_to_tribool(&hv)?.is_true() {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::new();
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        if let Some(first) = group.first() {
+                            out_row.extend(first.iter().cloned());
+                        } else {
+                            out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(self.eval_aggregate_expr(expr, &schema, group)?);
+                    }
+                }
+            }
+            out_rows.push(out_row);
+        }
+        // A query with aggregates but no GROUP BY always yields one row,
+        // even over an empty input.
+        if s.group_by.is_empty() && out_rows.is_empty() && s.having.is_none() {
+            let mut out_row = Vec::new();
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(self.eval_aggregate_expr(expr, &schema, &[])?);
+                    }
+                }
+            }
+            out_rows.push(out_row);
+        }
+        batch.columns = columns;
+        batch.rows = out_rows;
+        Ok(batch)
+    }
+
+    /// `SELECT DISTINCT` deduplication.
+    fn op_distinct(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        self.cover("exec.distinct");
+        // Injected fault: the skip-scan optimisation applied to DISTINCT
+        // after ANALYZE dedupes on the first column only (Listing 6).
+        let skip_scan = self.bugs().is_enabled(BugId::SqliteSkipScanDistinct)
+            && s.from.len() == 1
+            && self.analyzed.contains(&s.from[0].to_ascii_lowercase())
+            && !self.db.indexes_on(&s.from[0]).is_empty();
+        // Injected fault: DISTINCT treats NULL as a duplicate of zero
+        // (§4.4 type flexibility).
+        let null_zero = self.bugs().is_enabled(BugId::SqliteDistinctNegativeZero);
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for row in batch.rows {
+            let duplicate = out.iter().any(|existing| {
+                if skip_scan {
+                    match (existing.first(), row.first()) {
+                        (Some(a), Some(b)) => a.same_as(b),
+                        _ => existing.is_empty() && row.is_empty(),
+                    }
+                } else if null_zero {
+                    existing.len() == row.len()
+                        && existing.iter().zip(row.iter()).all(|(a, b)| {
+                            a.same_as(b)
+                                || (a.same_as(&Value::Integer(0)) && b.is_null())
+                                || (a.is_null() && b.same_as(&Value::Integer(0)))
+                        })
+                } else {
+                    existing.len() == row.len()
+                        && existing.iter().zip(row.iter()).all(|(a, b)| a.same_as(b))
+                }
+            });
+            if !duplicate {
+                out.push(row);
+            }
+        }
+        batch.rows = out;
+        Ok(batch)
+    }
+
+    /// `ORDER BY` (ordering never affects the containment oracle, but the
+    /// engine still implements it for completeness).
+    fn op_sort(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        self.cover("exec.order_by");
+        batch.rows.sort_by(|a, b| {
+            for (i, term) in s.order_by.iter().enumerate() {
+                let (av, bv) = match (
+                    a.get(i.min(a.len().saturating_sub(1))),
+                    b.get(i.min(b.len().saturating_sub(1))),
+                ) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => continue,
+                };
+                let coll = term.collation.unwrap_or_default();
+                let ord = av.total_cmp(bv, coll);
+                let ord = if term.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(batch)
+    }
+
+    /// `LIMIT` / `OFFSET` truncation.
+    fn op_limit(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+        self.cover("exec.limit_offset");
+        let offset = s.offset.unwrap_or(0) as usize;
+        let limit = s.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+        batch.rows = batch.rows.into_iter().skip(offset).take(limit).collect();
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+
+    fn parse_select(sql: &str) -> Select {
+        match lancer_sql::parse_statement(sql).unwrap() {
+            lancer_sql::Statement::Select(lancer_sql::ast::stmt::Query::Select(s)) => *s,
+            other => panic!("not a plain select: {other:?}"),
+        }
+    }
+
+    fn op_names(ops: &[Operator<'_>]) -> Vec<&'static str> {
+        ops.iter()
+            .map(|op| match op {
+                Operator::Scan => "scan",
+                Operator::Join(_) => "join",
+                Operator::IndexProbe => "probe",
+                Operator::Filter(_) => "filter",
+                Operator::Project => "project",
+                Operator::Aggregate => "aggregate",
+                Operator::Distinct => "distinct",
+                Operator::Sort => "sort",
+                Operator::Limit => "limit",
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assembly_follows_the_fixed_stage_order() {
+        let s = parse_select("SELECT c0 FROM t0");
+        assert_eq!(op_names(&assemble(&s)), vec!["scan", "probe", "project"]);
+        let s = parse_select(
+            "SELECT DISTINCT c0, COUNT(*) FROM t0 WHERE c0 = 1 GROUP BY c0 ORDER BY c0 LIMIT 2",
+        );
+        assert_eq!(
+            op_names(&assemble(&s)),
+            vec!["scan", "probe", "filter", "aggregate", "distinct", "sort", "limit"]
+        );
+        let s = parse_select("SELECT * FROM t0, t1 LEFT JOIN t2 ON t1.c0 = t2.c0 WHERE t0.c0 = 1");
+        assert_eq!(op_names(&assemble(&s)), vec!["scan", "join", "filter", "project"]);
+    }
+
+    #[test]
+    fn executor_probe_choice_agrees_with_the_plan_tree() {
+        // The executor's probe index and the plan's SEARCH index come from
+        // the same `probe_candidates` catalog fact, so for probes the
+        // planner considers sound they must name the same index.
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_script(
+            "CREATE TABLE t0(c0 INT, c1 INT);
+             CREATE INDEX i0 ON t0(c0);
+             INSERT INTO t0(c0, c1) VALUES (1, 10), (2, 20);",
+        )
+        .unwrap();
+        let explain = e.execute_sql("EXPLAIN SELECT c1 FROM t0 WHERE c0 = 1").unwrap();
+        let plan_line = explain.rows[0][0].to_string();
+        assert!(plan_line.contains("USING INDEX i0"), "{plan_line}");
+        let candidates = probe_candidates(e.database(), "t0", "c0");
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].def.name, "i0");
+        // And the probe is result-preserving on the fault-free engine.
+        let r = e.execute_sql("SELECT c1 FROM t0 WHERE c0 = 1").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Integer(10)]]);
+    }
+
+    #[test]
+    fn executor_keeps_the_collation_oblivious_fast_path() {
+        // The planner refuses a collation-mismatched index for text probes
+        // (the sound choice); the executor deliberately probes it anyway —
+        // the documented §4.4 divergence.  Both read the same candidates.
+        use lancer_sql::ast::stmt::{CreateIndex, IndexedColumn, Statement};
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_sql("CREATE TABLE t0(c0 TEXT)").unwrap();
+        let mut col = IndexedColumn::column("c0");
+        col.collation = Some(Collation::Rtrim);
+        e.execute(&Statement::CreateIndex(CreateIndex {
+            name: "i0".into(),
+            table: "t0".into(),
+            columns: vec![col],
+            unique: false,
+            where_clause: None,
+            if_not_exists: false,
+        }))
+        .unwrap();
+        e.execute_sql("INSERT INTO t0(c0) VALUES ('a'), ('a  ')").unwrap();
+        let plan = e.execute_sql("EXPLAIN SELECT * FROM t0 WHERE c0 = 'a'").unwrap();
+        assert_eq!(plan.rows[0][0].to_string(), "SCAN t0 WITH FILTER");
+        assert_eq!(probe_candidates(e.database(), "t0", "c0").len(), 1);
+        // The executor still probes i0 (RTRIM equality matches both rows)
+        // and the residual WHERE keeps only the exact match.
+        let r = e.execute_sql("SELECT * FROM t0 WHERE c0 = 'a'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_projection_is_identity_on_the_batch() {
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_script("CREATE TABLE t0(c0 INT); INSERT INTO t0(c0) VALUES (1), (2);").unwrap();
+        let r = e.execute_sql("SELECT * FROM t0").unwrap();
+        assert_eq!(r.columns, vec!["c0"]);
+        assert_eq!(r.rows, vec![vec![Value::Integer(1)], vec![Value::Integer(2)]]);
+    }
+}

@@ -1,12 +1,16 @@
-//! `SELECT` execution: row sources, joins, filtering, grouping, projection,
-//! `DISTINCT`, ordering and compound queries.
+//! Query execution: compound queries, `FROM`-source loading, the
+//! planning-time error faults, and the leaf helpers shared by the batched
+//! pipeline (`exec::pipeline`) and the retained reference evaluator
+//! (`exec::reference`).
 //!
-//! Most containment-oracle faults are injected here, because this is where a
-//! real DBMS's planner and optimisations live — exactly the components the
-//! paper found to be the richest source of logic bugs.
+//! Most containment-oracle faults fire inside `SELECT` execution, because
+//! that is where a real DBMS's planner and optimisations live — exactly
+//! the components the paper found to be the richest source of logic bugs.
+//! A plain `SELECT` runs through the operator pipeline; this module owns
+//! everything both evaluators share.
 
 use lancer_sql::ast::expr::{BinaryOp, Expr, TypeName};
-use lancer_sql::ast::stmt::{CompoundOp, JoinKind, Query, Select, SelectItem, TableEngine};
+use lancer_sql::ast::stmt::{CompoundOp, Query, Select, TableEngine};
 use lancer_sql::collation::Collation;
 use lancer_sql::value::Value;
 use lancer_storage::schema::ColumnMeta;
@@ -19,10 +23,10 @@ use crate::eval::{eval_aggregate, RowSchema, SourceSchema};
 use crate::exec::{Engine, QueryResult};
 
 /// Rows of one `FROM` source together with its schema.
-struct SourceData {
-    schema: SourceSchema,
-    rows: Vec<Vec<Value>>,
-    memory_engine: bool,
+pub(crate) struct SourceData {
+    pub(crate) schema: SourceSchema,
+    pub(crate) rows: Vec<Vec<Value>>,
+    pub(crate) memory_engine: bool,
 }
 
 impl Engine {
@@ -83,9 +87,29 @@ impl Engine {
         }
     }
 
+    /// The checks every `SELECT` runs before any row is produced: source
+    /// existence, index-corruption detection, and the planning-time error
+    /// faults.  Shared verbatim by the pipeline and the reference
+    /// evaluator so both report identical errors in identical order.
+    pub(crate) fn select_preflight(&mut self, s: &Select) -> EngineResult<()> {
+        for table in &s.from {
+            if self.db.table(table).is_some() {
+                self.check_corruption(table)?;
+            } else if self.db.view(table).is_none() {
+                return Err(StorageError::NoSuchTable(table.clone()).into());
+            }
+        }
+        for j in &s.joins {
+            if self.db.table(&j.table).is_some() {
+                self.check_corruption(&j.table)?;
+            }
+        }
+        self.planning_faults(s)
+    }
+
     /// Loads the rows of one `FROM` source (table, view, or inheritance
-    /// hierarchy).
-    fn load_source(&mut self, name: &str) -> EngineResult<SourceData> {
+    /// hierarchy), expanding views through the pipeline.
+    pub(crate) fn load_source(&mut self, name: &str) -> EngineResult<SourceData> {
         if let Some(view) = self.db.view(name).cloned() {
             self.cover("exec.view_expansion");
             let result = self.exec_select(&view.query)?;
@@ -175,7 +199,7 @@ impl Engine {
         })
     }
 
-    fn table_has_nocase(&self, table: &str) -> bool {
+    pub(crate) fn table_has_nocase(&self, table: &str) -> bool {
         let nocase_col = self
             .db
             .table(table)
@@ -267,493 +291,9 @@ impl Engine {
         Ok(())
     }
 
-    pub(crate) fn exec_select(&mut self, s: &Select) -> EngineResult<QueryResult> {
-        for table in &s.from {
-            if self.db.table(table).is_some() {
-                self.check_corruption(table)?;
-            } else if self.db.view(table).is_none() {
-                return Err(StorageError::NoSuchTable(table.clone()).into());
-            }
-        }
-        for j in &s.joins {
-            if self.db.table(&j.table).is_some() {
-                self.check_corruption(&j.table)?;
-            }
-        }
-        self.planning_faults(s)?;
-
-        // Load sources and build the joined row set.
-        let mut sources: Vec<SourceData> = Vec::new();
-        for name in &s.from {
-            sources.push(self.load_source(name)?);
-        }
-        let multi_table = s.from.len() + s.joins.len() > 1;
-        // Injected fault: joins with MEMORY-engine tables drop rows whose
-        // key needs an implicit cast (negative integers) — Listing 11.
-        if multi_table
-            && s.where_clause.is_some()
-            && self.bugs().is_enabled(BugId::MysqlMemoryEngineJoinMiss)
-        {
-            for src in &mut sources {
-                if src.memory_engine {
-                    src.rows
-                        .retain(|r| !r.iter().any(|v| matches!(v, Value::Integer(i) if *i < 0)));
-                }
-            }
-        }
-
-        let mut schema = RowSchema::default();
-        let multi_source = sources.len() > 1;
-        let mut rows: Vec<Vec<Value>> = Vec::new();
-        for (i, src) in sources.into_iter().enumerate() {
-            if multi_source {
-                self.cover("exec.cross_join");
-            }
-            schema.sources.push(src.schema);
-            // The first source's rows seed the join pipeline without any
-            // copy; later sources pay exactly one allocation per output
-            // row in `cross_product`.
-            if i == 0 {
-                rows = src.rows;
-            } else {
-                rows = cross_product(&rows, &src.rows);
-            }
-        }
-        if schema.sources.is_empty() {
-            // No FROM clause: a single constant row.
-            rows = vec![Vec::new()];
-        }
-        // Explicit joins.
-        for join in &s.joins {
-            let right = self.load_source(&join.table)?;
-            let right_width = right.schema.columns.len();
-            schema.sources.push(right.schema.clone());
-            match join.kind {
-                JoinKind::Cross => self.cover("exec.cross_join"),
-                JoinKind::Inner => self.cover("exec.inner_join"),
-                JoinKind::Left => self.cover("exec.left_join"),
-            }
-            let ev = self.evaluator();
-            let mut next: Vec<Vec<Value>> = Vec::new();
-            match join.kind {
-                JoinKind::Cross => {
-                    next = cross_product(&rows, &right.rows);
-                }
-                JoinKind::Inner => {
-                    for l in &rows {
-                        for r in &right.rows {
-                            let combined = concat_row(l, r);
-                            let keep = match &join.on {
-                                Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
-                                None => true,
-                            };
-                            if keep {
-                                next.push(combined);
-                            }
-                        }
-                    }
-                }
-                JoinKind::Left => {
-                    for l in &rows {
-                        let mut matched = false;
-                        for r in &right.rows {
-                            let combined = concat_row(l, r);
-                            let keep = match &join.on {
-                                Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
-                                None => true,
-                            };
-                            if keep {
-                                matched = true;
-                                next.push(combined);
-                            }
-                        }
-                        if !matched {
-                            let mut combined = Vec::with_capacity(l.len() + right_width);
-                            combined.extend_from_slice(l);
-                            combined.extend(std::iter::repeat_n(Value::Null, right_width));
-                            next.push(combined);
-                        }
-                    }
-                }
-            }
-            rows = next;
-        }
-
-        // Injected fault: a partial index whose predicate is `col NOT NULL`
-        // is (incorrectly) used for `col IS NOT <literal>` conditions,
-        // dropping NULL pivot rows (Listing 1).
-        if self.bugs().is_enabled(BugId::SqlitePartialIndexImpliesNotNull) && s.from.len() == 1 {
-            if let Some(w) = &s.where_clause {
-                if let Some(col) = find_is_not_literal_column(w) {
-                    let table = &s.from[0];
-                    let has_partial = self.db.indexes_on(table).iter().any(|i| {
-                        i.def.where_clause.as_ref().is_some_and(|p| {
-                            matches!(p, Expr::IsNull { negated: true, expr }
-                                if expr_references_column(expr, &col))
-                        })
-                    });
-                    if has_partial {
-                        self.cover("exec.partial_index");
-                        if let Some((ci, _)) =
-                            schema.resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&col))
-                        {
-                            rows.retain(|r| !r[ci].is_null());
-                        }
-                    }
-                }
-            }
-        }
-
-        // Index fast path for single-table equality predicates.  Without any
-        // fault this is result-preserving; several faults corrupt it.
-        if s.from.len() == 1 && s.joins.is_empty() {
-            if let Some(w) = &s.where_clause {
-                if let Some((col, lit)) = find_equality_probe(w) {
-                    rows = self.index_equality_probe(&s.from[0], &col, &lit, &schema, rows)?;
-                }
-            }
-        }
-
-        // WHERE filter.
-        if let Some(w) = &s.where_clause {
-            self.cover("exec.where_filter");
-            let mut where_clause = w.clone();
-            // Injected fault: the LIKE optimisation on INTEGER-affinity
-            // NOCASE columns rejects exact matches (Listing 7).
-            if self.bugs().is_enabled(BugId::SqliteLikeIntAffinityOptimisation) {
-                where_clause = rewrite_like_int_affinity(&where_clause, &schema);
-            }
-            let ev = self.evaluator();
-            let mut kept = Vec::new();
-            for r in rows {
-                if ev.eval_predicate(&where_clause, &schema, &r)?.is_true() {
-                    kept.push(r);
-                }
-            }
-            rows = kept;
-        }
-
-        // Poisoned projection after RENAME COLUMN + double-quoted index
-        // expression (Listing 8).
-        if s.from.len() == 1 {
-            let table = &s.from[0];
-            let poisons: Vec<(String, String)> = self
-                .poisoned_columns
-                .iter()
-                .filter(|(t, _, _)| t.eq_ignore_ascii_case(table))
-                .map(|(_, new, old)| (new.clone(), old.clone()))
-                .collect();
-            for (new_name, old_name) in poisons {
-                if let Some((ci, _)) =
-                    schema.resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&new_name))
-                {
-                    for r in &mut rows {
-                        r[ci] = Value::Text(old_name.to_ascii_uppercase());
-                    }
-                }
-            }
-        }
-
-        // Aggregation or plain projection.
-        let has_aggregate = s.group_by.iter().any(Expr::contains_aggregate)
-            || s.having.as_ref().is_some_and(Expr::contains_aggregate)
-            || s.items.iter().any(|i| match i {
-                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-                SelectItem::Wildcard => false,
-            });
-        let (columns, mut projected) = if !s.group_by.is_empty() || has_aggregate {
-            self.project_aggregate(s, &schema, &rows)?
-        } else {
-            self.project_plain(s, &schema, &rows)?
-        };
-
-        // DISTINCT.
-        if s.distinct {
-            self.cover("exec.distinct");
-            projected = self.apply_distinct(s, projected)?;
-        }
-
-        // ORDER BY (ordering never affects the containment oracle, but the
-        // engine still implements it for completeness).
-        if !s.order_by.is_empty() {
-            self.cover("exec.order_by");
-            if !has_aggregate && s.group_by.is_empty() {
-                // Already ordered during plain projection (see below).
-            }
-            projected.sort_by(|a, b| {
-                for (i, term) in s.order_by.iter().enumerate() {
-                    let (av, bv) = match (
-                        a.get(i.min(a.len().saturating_sub(1))),
-                        b.get(i.min(b.len().saturating_sub(1))),
-                    ) {
-                        (Some(x), Some(y)) => (x, y),
-                        _ => continue,
-                    };
-                    let coll = term.collation.unwrap_or_default();
-                    let ord = av.total_cmp(bv, coll);
-                    let ord = if term.descending { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-        }
-
-        // LIMIT / OFFSET.
-        if s.limit.is_some() || s.offset.is_some() {
-            self.cover("exec.limit_offset");
-            let offset = s.offset.unwrap_or(0) as usize;
-            let limit = s.limit.map(|l| l as usize).unwrap_or(usize::MAX);
-            projected = projected.into_iter().skip(offset).take(limit).collect();
-        }
-
-        Ok(QueryResult { columns, rows: projected, affected: 0 })
-    }
-
-    /// Uses an index to narrow down candidate rows for `col = literal`
-    /// predicates on a single table.  The full WHERE clause is still applied
-    /// afterwards, so with a correctly maintained index this is
-    /// result-preserving.
-    fn index_equality_probe(
-        &mut self,
-        table: &str,
-        col: &str,
-        lit: &Value,
-        schema: &RowSchema,
-        rows: Vec<Vec<Value>>,
-    ) -> EngineResult<Vec<Vec<Value>>> {
-        let Some(t) = self.db.table(table) else { return Ok(rows) };
-        let table_schema = t.schema.clone();
-        let Some(col_meta) = table_schema.column(col).cloned() else { return Ok(rows) };
-        // Find a usable (non-partial) index whose first key is the column.
-        let index_name = self
-            .db
-            .indexes_on(table)
-            .iter()
-            .find(|i| {
-                i.def.where_clause.is_none()
-                    && matches!(i.def.exprs.first(), Some(Expr::Column(c)) if c.column.eq_ignore_ascii_case(col))
-            })
-            .map(|i| i.def.name.clone());
-        let Some(index_name) = index_name else { return Ok(rows) };
-        self.cover("exec.index_lookup");
-        let mut probe = lit.clone();
-        // Injected fault: probes against an INTEGER PRIMARY KEY are coerced
-        // to integers even when the stored value is text (§4.4).
-        if self.bugs().is_enabled(BugId::SqliteRowidAliasInsertMismatch)
-            && col_meta.primary_key
-            && col_meta.type_name == Some(TypeName::Integer)
-        {
-            probe = Value::Integer(probe.to_integer_lenient().unwrap_or(0));
-        }
-        let binary_probe = self.bugs().is_enabled(BugId::SqliteCollateIndexBinaryKeys);
-        let index = self.db.index(&index_name).expect("index just resolved");
-        let matching: Vec<u64> = if binary_probe {
-            index
-                .entries()
-                .iter()
-                .filter(|e| {
-                    e.key.first().is_some_and(|k| {
-                        k.total_cmp(&probe, Collation::Binary) == std::cmp::Ordering::Equal
-                    })
-                })
-                .map(|e| e.row_id)
-                .collect()
-        } else {
-            index
-                .entries()
-                .iter()
-                .filter(|e| {
-                    e.key.first().is_some_and(|k| {
-                        let coll = index.def.collations.first().copied().unwrap_or_default();
-                        match (k, &probe) {
-                            (Value::Text(a), Value::Text(b)) => coll.equal(a, b),
-                            _ => k.same_as(&probe),
-                        }
-                    })
-                })
-                .map(|e| e.row_id)
-                .collect()
-        };
-        // Map row ids back to full rows; fall back to the scan rows when the
-        // id is gone (defensive).
-        let t = self.db.require_table(table)?;
-        let mut out = Vec::new();
-        for rid in matching {
-            if let Some(row) = t.get(rid) {
-                out.push(row.values);
-            }
-        }
-        // Keep rows that the index cannot serve (e.g. rows whose key the
-        // comparison treats as equal across storage classes) out of the
-        // result only if the index is authoritative; with schema width
-        // mismatches (views), fall back to the original rows.
-        if schema.width() != t.schema.columns.len() {
-            return Ok(rows);
-        }
-        Ok(out)
-    }
-
-    fn project_plain(
-        &mut self,
-        s: &Select,
-        schema: &RowSchema,
-        rows: &[Vec<Value>],
-    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
-        let ev = self.evaluator();
-        let mut columns: Vec<String> = Vec::new();
-        for item in &s.items {
-            match item {
-                SelectItem::Wildcard => {
-                    for (_, c) in schema.flat_columns() {
-                        columns.push(c.name);
-                    }
-                }
-                SelectItem::Expr { expr, alias } => {
-                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
-                }
-            }
-        }
-        let mut projected = Vec::with_capacity(rows.len());
-        for r in rows {
-            let mut out_row = Vec::with_capacity(columns.len());
-            for item in &s.items {
-                match item {
-                    SelectItem::Wildcard => out_row.extend(r.iter().cloned()),
-                    SelectItem::Expr { expr, .. } => out_row.push(ev.eval(expr, schema, r)?),
-                }
-            }
-            projected.push(out_row);
-        }
-        Ok((columns, projected))
-    }
-
-    fn project_aggregate(
-        &mut self,
-        s: &Select,
-        schema: &RowSchema,
-        rows: &[Vec<Value>],
-    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
-        self.cover("exec.group_by");
-        let ev = self.evaluator();
-        // Build groups.
-        let mut group_keys: Vec<Vec<Value>> = Vec::new();
-        let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
-        let mut input_rows: Vec<Vec<Value>> = rows.to_vec();
-
-        // Injected fault: GROUP BY over an inheritance parent merges child
-        // rows with parent rows that share the first grouping key
-        // (Listing 15).
-        if self.bugs().is_enabled(BugId::PostgresInheritanceGroupByMissingRow)
-            && !s.group_by.is_empty()
-            && s.from.len() == 1
-            && !self.db.children_of(&s.from[0]).is_empty()
-        {
-            let mut seen: Vec<Value> = Vec::new();
-            let mut filtered = Vec::new();
-            for r in input_rows {
-                let key = ev.eval(&s.group_by[0], schema, &r)?;
-                if seen.iter().any(|k| k.same_as(&key)) {
-                    continue;
-                }
-                seen.push(key);
-                filtered.push(r);
-            }
-            input_rows = filtered;
-        }
-
-        if s.group_by.is_empty() {
-            group_keys.push(Vec::new());
-            groups.push(input_rows);
-        } else {
-            let drop_null_groups = self.bugs().is_enabled(BugId::SqliteGroupByNoCaseDuplicates)
-                && s.group_by.iter().any(|g| ev.collation_of(g, schema) == Collation::NoCase);
-            for r in input_rows {
-                let mut key = Vec::with_capacity(s.group_by.len());
-                for g in &s.group_by {
-                    key.push(ev.eval(g, schema, &r)?);
-                }
-                // Injected fault: NULL-keyed groups are dropped when grouping
-                // on a NOCASE column (§4.4 COLLATE bugs).
-                if drop_null_groups && key.iter().any(Value::is_null) {
-                    continue;
-                }
-                match group_keys.iter().position(|k| {
-                    k.len() == key.len() && k.iter().zip(key.iter()).all(|(a, b)| a.same_as(b))
-                }) {
-                    Some(i) => groups[i].push(r),
-                    None => {
-                        group_keys.push(key);
-                        groups.push(vec![r]);
-                    }
-                }
-            }
-        }
-
-        let mut columns: Vec<String> = Vec::new();
-        for item in &s.items {
-            match item {
-                SelectItem::Wildcard => {
-                    for (_, c) in schema.flat_columns() {
-                        columns.push(c.name);
-                    }
-                }
-                SelectItem::Expr { expr, alias } => {
-                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
-                }
-            }
-        }
-
-        let mut out_rows = Vec::new();
-        for group in &groups {
-            // HAVING.
-            if let Some(h) = &s.having {
-                self.cover("exec.having");
-                let hv = self.eval_aggregate_expr(h, schema, group)?;
-                if !self.evaluator().value_to_tribool(&hv)?.is_true() {
-                    continue;
-                }
-            }
-            let mut out_row = Vec::new();
-            for item in &s.items {
-                match item {
-                    SelectItem::Wildcard => {
-                        if let Some(first) = group.first() {
-                            out_row.extend(first.iter().cloned());
-                        } else {
-                            out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
-                        }
-                    }
-                    SelectItem::Expr { expr, .. } => {
-                        out_row.push(self.eval_aggregate_expr(expr, schema, group)?);
-                    }
-                }
-            }
-            out_rows.push(out_row);
-        }
-        // A query with aggregates but no GROUP BY always yields one row,
-        // even over an empty input.
-        if s.group_by.is_empty() && out_rows.is_empty() && s.having.is_none() {
-            let mut out_row = Vec::new();
-            for item in &s.items {
-                match item {
-                    SelectItem::Wildcard => {
-                        out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
-                    }
-                    SelectItem::Expr { expr, .. } => {
-                        out_row.push(self.eval_aggregate_expr(expr, schema, &[])?);
-                    }
-                }
-            }
-            out_rows.push(out_row);
-        }
-        Ok((columns, out_rows))
-    }
-
     /// Evaluates an expression that may contain aggregate calls over a group
     /// of rows.
-    fn eval_aggregate_expr(
+    pub(crate) fn eval_aggregate_expr(
         &self,
         expr: &Expr,
         schema: &RowSchema,
@@ -808,54 +348,13 @@ impl Engine {
         // Coverage requires &mut self; aggregate-expression coverage is
         // recorded by the callers that own mutable access.
     }
-
-    fn apply_distinct(
-        &mut self,
-        s: &Select,
-        rows: Vec<Vec<Value>>,
-    ) -> EngineResult<Vec<Vec<Value>>> {
-        // Injected fault: the skip-scan optimisation applied to DISTINCT
-        // after ANALYZE dedupes on the first column only (Listing 6).
-        let skip_scan = self.bugs().is_enabled(BugId::SqliteSkipScanDistinct)
-            && s.from.len() == 1
-            && self.analyzed.contains(&s.from[0].to_ascii_lowercase())
-            && !self.db.indexes_on(&s.from[0]).is_empty();
-        // Injected fault: DISTINCT treats NULL as a duplicate of zero
-        // (§4.4 type flexibility).
-        let null_zero = self.bugs().is_enabled(BugId::SqliteDistinctNegativeZero);
-        let mut out: Vec<Vec<Value>> = Vec::new();
-        for row in rows {
-            let duplicate = out.iter().any(|existing| {
-                if skip_scan {
-                    match (existing.first(), row.first()) {
-                        (Some(a), Some(b)) => a.same_as(b),
-                        _ => existing.is_empty() && row.is_empty(),
-                    }
-                } else if null_zero {
-                    existing.len() == row.len()
-                        && existing.iter().zip(row.iter()).all(|(a, b)| {
-                            a.same_as(b)
-                                || (a.same_as(&Value::Integer(0)) && b.is_null())
-                                || (a.is_null() && b.same_as(&Value::Integer(0)))
-                        })
-                } else {
-                    existing.len() == row.len()
-                        && existing.iter().zip(row.iter()).all(|(a, b)| a.same_as(b))
-                }
-            });
-            if !duplicate {
-                out.push(row);
-            }
-        }
-        Ok(out)
-    }
 }
 
-fn contains(rows: &[Vec<Value>], row: &[Value]) -> bool {
+pub(crate) fn contains(rows: &[Vec<Value>], row: &[Value]) -> bool {
     rows.iter().any(|r| r.len() == row.len() && r.iter().zip(row.iter()).all(|(a, b)| a.same_as(b)))
 }
 
-fn cross_product(left: &[Vec<Value>], right: &[Vec<Value>]) -> Vec<Vec<Value>> {
+pub(crate) fn cross_product(left: &[Vec<Value>], right: &[Vec<Value>]) -> Vec<Vec<Value>> {
     let mut out = Vec::with_capacity(left.len() * right.len().max(1));
     for l in left {
         for r in right {
@@ -868,7 +367,7 @@ fn cross_product(left: &[Vec<Value>], right: &[Vec<Value>]) -> Vec<Vec<Value>> {
 /// Concatenates two row halves with a single exact-size allocation (the
 /// clone-then-extend idiom this replaces paid a second allocation on the
 /// `extend` growth path for every joined row pair).
-fn concat_row(l: &[Value], r: &[Value]) -> Vec<Value> {
+pub(crate) fn concat_row(l: &[Value], r: &[Value]) -> Vec<Value> {
     let mut combined = Vec::with_capacity(l.len() + r.len());
     combined.extend_from_slice(l);
     combined.extend_from_slice(r);
@@ -889,13 +388,13 @@ fn expr_contains(expr: &Expr, pred: &dyn Fn(&Expr) -> bool) -> bool {
     found
 }
 
-fn expr_references_column(expr: &Expr, column: &str) -> bool {
+pub(crate) fn expr_references_column(expr: &Expr, column: &str) -> bool {
     expr.column_refs().iter().any(|c| c.column.eq_ignore_ascii_case(column))
 }
 
 /// Detects a top-level `col IS NOT <non-null literal>` condition and returns
 /// the column name.
-fn find_is_not_literal_column(expr: &Expr) -> Option<String> {
+pub(crate) fn find_is_not_literal_column(expr: &Expr) -> Option<String> {
     match expr {
         Expr::Binary { op: BinaryOp::IsNot, left, right } => {
             match (left.as_ref(), right.as_ref()) {
@@ -911,27 +410,10 @@ fn find_is_not_literal_column(expr: &Expr) -> Option<String> {
     }
 }
 
-/// Detects a WHERE clause that is exactly `col = literal` (possibly table
-/// qualified or wrapped in a conjunction) and returns the probe.
-fn find_equality_probe(expr: &Expr) -> Option<(String, Value)> {
-    match expr {
-        Expr::Binary { op: BinaryOp::Eq, left, right } => match (left.as_ref(), right.as_ref()) {
-            (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => {
-                Some((c.column.clone(), v.clone()))
-            }
-            (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => {
-                Some((c.column.clone(), v.clone()))
-            }
-            _ => None,
-        },
-        _ => None,
-    }
-}
-
 /// Rewrites `col LIKE pattern` into `0` when `col` is an INTEGER-affinity
 /// NOCASE column and the pattern contains no wildcard — the shape of the
 /// broken LIKE optimisation from Listing 7.
-fn rewrite_like_int_affinity(expr: &Expr, schema: &RowSchema) -> Expr {
+pub(crate) fn rewrite_like_int_affinity(expr: &Expr, schema: &RowSchema) -> Expr {
     match expr {
         Expr::Like { negated, expr: inner, pattern } => {
             if let (Expr::Column(c), Expr::Literal(Value::Text(p))) =

@@ -1,0 +1,705 @@
+//! The retained straight-line reference evaluator for `SELECT`.
+//!
+//! This is the pre-pipeline, row-at-a-time `exec_select` kept verbatim
+//! (modulo the shared leaf helpers in `exec::query`) as an executable
+//! specification of the batched operator pipeline in `exec::pipeline`.
+//! The differential property suite (`tests/pipeline_differential.rs`)
+//! executes randomly generated queries through both and requires
+//! identical results — rows, order, errors and all — with faults enabled
+//! *and* disabled, so a pipeline regression is caught at the query that
+//! exposes it rather than as a drifted campaign report.
+//!
+//! The module is deliberately self-recursive: views and compound
+//! operands evaluated from here go through the reference path, never the
+//! pipeline, so the two implementations stay fully independent above the
+//! expression-evaluator layer.
+
+use lancer_sql::ast::expr::{BinaryOp, Expr, TypeName};
+use lancer_sql::ast::stmt::{CompoundOp, JoinKind, Query, Select, SelectItem, TableEngine};
+use lancer_sql::collation::Collation;
+use lancer_sql::value::Value;
+use lancer_storage::schema::ColumnMeta;
+
+use crate::bugs::BugId;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{RowSchema, SourceSchema};
+use crate::exec::query::{
+    concat_row, contains, cross_product, expr_references_column, find_is_not_literal_column,
+    rewrite_like_int_affinity, SourceData,
+};
+use crate::exec::{Engine, QueryResult};
+
+impl Engine {
+    /// Executes a query through the retained straight-line reference
+    /// evaluator instead of the batched pipeline.  Exposed (hidden) for
+    /// the differential test suites; production paths always use the
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Engine::execute`] would report for the same
+    /// query — that equivalence is the point.
+    #[doc(hidden)]
+    pub fn execute_query_reference(&mut self, q: &Query) -> EngineResult<QueryResult> {
+        self.exec_query_reference(q)
+    }
+
+    fn exec_query_reference(&mut self, q: &Query) -> EngineResult<QueryResult> {
+        match q {
+            Query::Select(s) => self.exec_select_reference(s),
+            Query::Compound { left, op, right } => {
+                let l = self.exec_query_reference(left)?;
+                let r = self.exec_query_reference(right)?;
+                if !l.rows.is_empty() && !r.rows.is_empty() && l.rows[0].len() != r.rows[0].len() {
+                    return Err(EngineError::semantic(
+                        "SELECTs to the left and right of a compound operator do not have the same number of result columns",
+                    ));
+                }
+                let columns = l.columns;
+                let rows = match op {
+                    CompoundOp::Intersect => {
+                        self.cover("exec.compound_intersect");
+                        let mut out: Vec<Vec<Value>> = Vec::new();
+                        for row in l.rows {
+                            if r.contains_row(&row) && !contains(&out, &row) {
+                                out.push(row);
+                            }
+                        }
+                        out
+                    }
+                    CompoundOp::Union => {
+                        self.cover("exec.compound_union");
+                        let mut out: Vec<Vec<Value>> = Vec::new();
+                        for row in l.rows.into_iter().chain(r.rows) {
+                            if !contains(&out, &row) {
+                                out.push(row);
+                            }
+                        }
+                        out
+                    }
+                    CompoundOp::UnionAll => {
+                        self.cover("exec.compound_union");
+                        let mut out = l.rows;
+                        out.extend(r.rows);
+                        out
+                    }
+                    CompoundOp::Except => {
+                        self.cover("exec.compound_except");
+                        let mut out: Vec<Vec<Value>> = Vec::new();
+                        for row in l.rows {
+                            if !r.contains_row(&row) && !contains(&out, &row) {
+                                out.push(row);
+                            }
+                        }
+                        out
+                    }
+                };
+                Ok(QueryResult { columns, rows, affected: 0 })
+            }
+        }
+    }
+
+    /// Loads the rows of one `FROM` source, expanding views through the
+    /// reference evaluator (never the pipeline).
+    fn load_source_reference(&mut self, name: &str) -> EngineResult<SourceData> {
+        if let Some(view) = self.db.view(name).cloned() {
+            self.cover("exec.view_expansion");
+            let result = self.exec_select_reference(&view.query)?;
+            let columns = result
+                .columns
+                .iter()
+                .map(|c| ColumnMeta {
+                    name: c.clone(),
+                    type_name: None,
+                    collation: Collation::Binary,
+                    not_null: false,
+                    primary_key: false,
+                    unique: false,
+                    default: None,
+                    check: None,
+                })
+                .collect();
+            return Ok(SourceData {
+                schema: SourceSchema { name: name.to_owned(), columns },
+                rows: result.rows,
+                memory_engine: false,
+            });
+        }
+        self.cover("exec.table_scan");
+        let table = self.db.require_table(name)?;
+        let schema = table.schema.clone();
+        let mut rows: Vec<Vec<Value>> = table.rows().map(|r| r.values).collect();
+
+        // SQLite WITHOUT ROWID tables are physically the primary-key index;
+        // the injected NOCASE dedup fault hides case-differing keys
+        // (Listing 4).
+        if schema.without_rowid
+            && self.bugs().is_enabled(BugId::SqliteNoCaseWithoutRowidDedup)
+            && self.table_has_nocase(&schema.name)
+        {
+            if let Some(pk_col) = schema.primary_key.first() {
+                if let Some(pk_idx) = schema.column_index(pk_col) {
+                    let mut seen: Vec<String> = Vec::new();
+                    rows.retain(|r| match &r[pk_idx] {
+                        Value::Text(t) => {
+                            let key = t.to_ascii_lowercase();
+                            if seen.contains(&key) {
+                                false
+                            } else {
+                                seen.push(key);
+                                true
+                            }
+                        }
+                        _ => true,
+                    });
+                }
+            }
+        }
+
+        // PostgreSQL table inheritance: scanning the parent includes child
+        // rows projected onto the parent's columns.
+        let children = self.db.children_of(name);
+        if !children.is_empty() && self.dialect() == crate::dialect::Dialect::Postgres {
+            self.cover("exec.inheritance_expansion");
+            let skip_children = self.bugs().is_enabled(BugId::PostgresSerialNotNullBypass)
+                && schema.columns.iter().any(|c| c.type_name == Some(TypeName::Serial));
+            if !skip_children {
+                for child in children {
+                    let child_table = self.db.require_table(&child)?;
+                    let child_schema = child_table.schema.clone();
+                    for row in child_table.rows() {
+                        let projected: Vec<Value> = schema
+                            .columns
+                            .iter()
+                            .map(|pc| {
+                                child_schema
+                                    .column_index(&pc.name)
+                                    .map(|ci| row.values[ci].clone())
+                                    .unwrap_or(Value::Null)
+                            })
+                            .collect();
+                        rows.push(projected);
+                    }
+                }
+            }
+        }
+
+        Ok(SourceData {
+            schema: SourceSchema { name: schema.name.clone(), columns: schema.columns.clone() },
+            rows,
+            memory_engine: schema.engine == TableEngine::Memory,
+        })
+    }
+
+    pub(crate) fn exec_select_reference(&mut self, s: &Select) -> EngineResult<QueryResult> {
+        self.select_preflight(s)?;
+
+        // Load sources and build the joined row set.
+        let mut sources: Vec<SourceData> = Vec::new();
+        for name in &s.from {
+            sources.push(self.load_source_reference(name)?);
+        }
+        let multi_table = s.from.len() + s.joins.len() > 1;
+        // Injected fault: joins with MEMORY-engine tables drop rows whose
+        // key needs an implicit cast (negative integers) — Listing 11.
+        if multi_table
+            && s.where_clause.is_some()
+            && self.bugs().is_enabled(BugId::MysqlMemoryEngineJoinMiss)
+        {
+            for src in &mut sources {
+                if src.memory_engine {
+                    src.rows
+                        .retain(|r| !r.iter().any(|v| matches!(v, Value::Integer(i) if *i < 0)));
+                }
+            }
+        }
+
+        let mut schema = RowSchema::default();
+        let multi_source = sources.len() > 1;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (i, src) in sources.into_iter().enumerate() {
+            if multi_source {
+                self.cover("exec.cross_join");
+            }
+            schema.sources.push(src.schema);
+            if i == 0 {
+                rows = src.rows;
+            } else {
+                rows = cross_product(&rows, &src.rows);
+            }
+        }
+        if schema.sources.is_empty() {
+            rows = vec![Vec::new()];
+        }
+        // Explicit joins.
+        for join in &s.joins {
+            let right = self.load_source_reference(&join.table)?;
+            let right_width = right.schema.columns.len();
+            schema.sources.push(right.schema.clone());
+            match join.kind {
+                JoinKind::Cross => self.cover("exec.cross_join"),
+                JoinKind::Inner => self.cover("exec.inner_join"),
+                JoinKind::Left => self.cover("exec.left_join"),
+            }
+            let ev = self.evaluator();
+            let mut next: Vec<Vec<Value>> = Vec::new();
+            match join.kind {
+                JoinKind::Cross => {
+                    next = cross_product(&rows, &right.rows);
+                }
+                JoinKind::Inner => {
+                    for l in &rows {
+                        for r in &right.rows {
+                            let combined = concat_row(l, r);
+                            let keep = match &join.on {
+                                Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
+                                None => true,
+                            };
+                            if keep {
+                                next.push(combined);
+                            }
+                        }
+                    }
+                }
+                JoinKind::Left => {
+                    for l in &rows {
+                        let mut matched = false;
+                        for r in &right.rows {
+                            let combined = concat_row(l, r);
+                            let keep = match &join.on {
+                                Some(on) => ev.eval_predicate(on, &schema, &combined)?.is_true(),
+                                None => true,
+                            };
+                            if keep {
+                                matched = true;
+                                next.push(combined);
+                            }
+                        }
+                        if !matched {
+                            let mut combined = Vec::with_capacity(l.len() + right_width);
+                            combined.extend_from_slice(l);
+                            combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                            next.push(combined);
+                        }
+                    }
+                }
+            }
+            rows = next;
+        }
+
+        // Injected fault: a partial index whose predicate is `col NOT NULL`
+        // is (incorrectly) used for `col IS NOT <literal>` conditions,
+        // dropping NULL pivot rows (Listing 1).
+        if self.bugs().is_enabled(BugId::SqlitePartialIndexImpliesNotNull) && s.from.len() == 1 {
+            if let Some(w) = &s.where_clause {
+                if let Some(col) = find_is_not_literal_column(w) {
+                    let table = &s.from[0];
+                    let has_partial = self.db.indexes_on(table).iter().any(|i| {
+                        i.def.where_clause.as_ref().is_some_and(|p| {
+                            matches!(p, Expr::IsNull { negated: true, expr }
+                                if expr_references_column(expr, &col))
+                        })
+                    });
+                    if has_partial {
+                        self.cover("exec.partial_index");
+                        if let Some((ci, _)) =
+                            schema.resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&col))
+                        {
+                            rows.retain(|r| !r[ci].is_null());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Index fast path for single-table equality predicates.
+        if s.from.len() == 1 && s.joins.is_empty() {
+            if let Some(w) = &s.where_clause {
+                if let Some((col, lit)) = reference_equality_probe(w) {
+                    rows =
+                        self.index_equality_probe_reference(&s.from[0], &col, &lit, &schema, rows)?;
+                }
+            }
+        }
+
+        // WHERE filter.
+        if let Some(w) = &s.where_clause {
+            self.cover("exec.where_filter");
+            let mut where_clause = w.clone();
+            // Injected fault: the LIKE optimisation on INTEGER-affinity
+            // NOCASE columns rejects exact matches (Listing 7).
+            if self.bugs().is_enabled(BugId::SqliteLikeIntAffinityOptimisation) {
+                where_clause = rewrite_like_int_affinity(&where_clause, &schema);
+            }
+            let ev = self.evaluator();
+            let mut kept = Vec::new();
+            for r in rows {
+                if ev.eval_predicate(&where_clause, &schema, &r)?.is_true() {
+                    kept.push(r);
+                }
+            }
+            rows = kept;
+        }
+
+        // Poisoned projection after RENAME COLUMN + double-quoted index
+        // expression (Listing 8).
+        if s.from.len() == 1 {
+            let table = &s.from[0];
+            let poisons: Vec<(String, String)> = self
+                .poisoned_columns
+                .iter()
+                .filter(|(t, _, _)| t.eq_ignore_ascii_case(table))
+                .map(|(_, new, old)| (new.clone(), old.clone()))
+                .collect();
+            for (new_name, old_name) in poisons {
+                if let Some((ci, _)) =
+                    schema.resolve(&lancer_sql::ast::expr::ColumnRef::unqualified(&new_name))
+                {
+                    for r in &mut rows {
+                        r[ci] = Value::Text(old_name.to_ascii_uppercase());
+                    }
+                }
+            }
+        }
+
+        // Aggregation or plain projection.
+        let has_aggregate = s.group_by.iter().any(Expr::contains_aggregate)
+            || s.having.as_ref().is_some_and(Expr::contains_aggregate)
+            || s.items.iter().any(|i| match i {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            });
+        let (columns, mut projected) = if !s.group_by.is_empty() || has_aggregate {
+            self.project_aggregate_reference(s, &schema, &rows)?
+        } else {
+            self.project_plain_reference(s, &schema, &rows)?
+        };
+
+        // DISTINCT.
+        if s.distinct {
+            self.cover("exec.distinct");
+            projected = self.apply_distinct_reference(s, projected)?;
+        }
+
+        // ORDER BY.
+        if !s.order_by.is_empty() {
+            self.cover("exec.order_by");
+            projected.sort_by(|a, b| {
+                for (i, term) in s.order_by.iter().enumerate() {
+                    let (av, bv) = match (
+                        a.get(i.min(a.len().saturating_sub(1))),
+                        b.get(i.min(b.len().saturating_sub(1))),
+                    ) {
+                        (Some(x), Some(y)) => (x, y),
+                        _ => continue,
+                    };
+                    let coll = term.collation.unwrap_or_default();
+                    let ord = av.total_cmp(bv, coll);
+                    let ord = if term.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        // LIMIT / OFFSET.
+        if s.limit.is_some() || s.offset.is_some() {
+            self.cover("exec.limit_offset");
+            let offset = s.offset.unwrap_or(0) as usize;
+            let limit = s.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+            projected = projected.into_iter().skip(offset).take(limit).collect();
+        }
+
+        Ok(QueryResult { columns, rows: projected, affected: 0 })
+    }
+
+    /// The reference copy of the single-table equality index probe.
+    fn index_equality_probe_reference(
+        &mut self,
+        table: &str,
+        col: &str,
+        lit: &Value,
+        schema: &RowSchema,
+        rows: Vec<Vec<Value>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        let Some(t) = self.db.table(table) else { return Ok(rows) };
+        let table_schema = t.schema.clone();
+        let Some(col_meta) = table_schema.column(col).cloned() else { return Ok(rows) };
+        // Find a usable (non-partial) index whose first key is the column.
+        let index_name = self
+            .db
+            .indexes_on(table)
+            .iter()
+            .find(|i| {
+                i.def.where_clause.is_none()
+                    && matches!(i.def.exprs.first(), Some(Expr::Column(c)) if c.column.eq_ignore_ascii_case(col))
+            })
+            .map(|i| i.def.name.clone());
+        let Some(index_name) = index_name else { return Ok(rows) };
+        self.cover("exec.index_lookup");
+        let mut probe = lit.clone();
+        if self.bugs().is_enabled(BugId::SqliteRowidAliasInsertMismatch)
+            && col_meta.primary_key
+            && col_meta.type_name == Some(TypeName::Integer)
+        {
+            probe = Value::Integer(probe.to_integer_lenient().unwrap_or(0));
+        }
+        let binary_probe = self.bugs().is_enabled(BugId::SqliteCollateIndexBinaryKeys);
+        let index = self.db.index(&index_name).expect("index just resolved");
+        let matching: Vec<u64> = if binary_probe {
+            index
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.key.first().is_some_and(|k| {
+                        k.total_cmp(&probe, Collation::Binary) == std::cmp::Ordering::Equal
+                    })
+                })
+                .map(|e| e.row_id)
+                .collect()
+        } else {
+            index
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.key.first().is_some_and(|k| {
+                        let coll = index.def.collations.first().copied().unwrap_or_default();
+                        match (k, &probe) {
+                            (Value::Text(a), Value::Text(b)) => coll.equal(a, b),
+                            _ => k.same_as(&probe),
+                        }
+                    })
+                })
+                .map(|e| e.row_id)
+                .collect()
+        };
+        let t = self.db.require_table(table)?;
+        let mut out = Vec::new();
+        for rid in matching {
+            if let Some(row) = t.get(rid) {
+                out.push(row.values);
+            }
+        }
+        if schema.width() != t.schema.columns.len() {
+            return Ok(rows);
+        }
+        Ok(out)
+    }
+
+    fn project_plain_reference(
+        &mut self,
+        s: &Select,
+        schema: &RowSchema,
+        rows: &[Vec<Value>],
+    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
+        let ev = self.evaluator();
+        let mut columns: Vec<String> = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, c) in schema.flat_columns() {
+                        columns.push(c.name);
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+                }
+            }
+        }
+        let mut projected = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut out_row = Vec::with_capacity(columns.len());
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => out_row.extend(r.iter().cloned()),
+                    SelectItem::Expr { expr, .. } => out_row.push(ev.eval(expr, schema, r)?),
+                }
+            }
+            projected.push(out_row);
+        }
+        Ok((columns, projected))
+    }
+
+    fn project_aggregate_reference(
+        &mut self,
+        s: &Select,
+        schema: &RowSchema,
+        rows: &[Vec<Value>],
+    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>)> {
+        self.cover("exec.group_by");
+        let ev = self.evaluator();
+        // Build groups.
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
+        let mut input_rows: Vec<Vec<Value>> = rows.to_vec();
+
+        // Injected fault: GROUP BY over an inheritance parent merges child
+        // rows with parent rows that share the first grouping key
+        // (Listing 15).
+        if self.bugs().is_enabled(BugId::PostgresInheritanceGroupByMissingRow)
+            && !s.group_by.is_empty()
+            && s.from.len() == 1
+            && !self.db.children_of(&s.from[0]).is_empty()
+        {
+            let mut seen: Vec<Value> = Vec::new();
+            let mut filtered = Vec::new();
+            for r in input_rows {
+                let key = ev.eval(&s.group_by[0], schema, &r)?;
+                if seen.iter().any(|k| k.same_as(&key)) {
+                    continue;
+                }
+                seen.push(key);
+                filtered.push(r);
+            }
+            input_rows = filtered;
+        }
+
+        if s.group_by.is_empty() {
+            group_keys.push(Vec::new());
+            groups.push(input_rows);
+        } else {
+            let drop_null_groups = self.bugs().is_enabled(BugId::SqliteGroupByNoCaseDuplicates)
+                && s.group_by.iter().any(|g| ev.collation_of(g, schema) == Collation::NoCase);
+            for r in input_rows {
+                let mut key = Vec::with_capacity(s.group_by.len());
+                for g in &s.group_by {
+                    key.push(ev.eval(g, schema, &r)?);
+                }
+                // Injected fault: NULL-keyed groups are dropped when grouping
+                // on a NOCASE column (§4.4 COLLATE bugs).
+                if drop_null_groups && key.iter().any(Value::is_null) {
+                    continue;
+                }
+                match group_keys.iter().position(|k| {
+                    k.len() == key.len() && k.iter().zip(key.iter()).all(|(a, b)| a.same_as(b))
+                }) {
+                    Some(i) => groups[i].push(r),
+                    None => {
+                        group_keys.push(key);
+                        groups.push(vec![r]);
+                    }
+                }
+            }
+        }
+
+        let mut columns: Vec<String> = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, c) in schema.flat_columns() {
+                        columns.push(c.name);
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+                }
+            }
+        }
+
+        let mut out_rows = Vec::new();
+        for group in &groups {
+            // HAVING.
+            if let Some(h) = &s.having {
+                self.cover("exec.having");
+                let hv = self.eval_aggregate_expr(h, schema, group)?;
+                if !self.evaluator().value_to_tribool(&hv)?.is_true() {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::new();
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        if let Some(first) = group.first() {
+                            out_row.extend(first.iter().cloned());
+                        } else {
+                            out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(self.eval_aggregate_expr(expr, schema, group)?);
+                    }
+                }
+            }
+            out_rows.push(out_row);
+        }
+        // A query with aggregates but no GROUP BY always yields one row,
+        // even over an empty input.
+        if s.group_by.is_empty() && out_rows.is_empty() && s.having.is_none() {
+            let mut out_row = Vec::new();
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        out_row.extend(std::iter::repeat_n(Value::Null, schema.width()));
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(self.eval_aggregate_expr(expr, schema, &[])?);
+                    }
+                }
+            }
+            out_rows.push(out_row);
+        }
+        Ok((columns, out_rows))
+    }
+
+    fn apply_distinct_reference(
+        &mut self,
+        s: &Select,
+        rows: Vec<Vec<Value>>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        // Injected fault: the skip-scan optimisation applied to DISTINCT
+        // after ANALYZE dedupes on the first column only (Listing 6).
+        let skip_scan = self.bugs().is_enabled(BugId::SqliteSkipScanDistinct)
+            && s.from.len() == 1
+            && self.analyzed.contains(&s.from[0].to_ascii_lowercase())
+            && !self.db.indexes_on(&s.from[0]).is_empty();
+        // Injected fault: DISTINCT treats NULL as a duplicate of zero
+        // (§4.4 type flexibility).
+        let null_zero = self.bugs().is_enabled(BugId::SqliteDistinctNegativeZero);
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for row in rows {
+            let duplicate = out.iter().any(|existing| {
+                if skip_scan {
+                    match (existing.first(), row.first()) {
+                        (Some(a), Some(b)) => a.same_as(b),
+                        _ => existing.is_empty() && row.is_empty(),
+                    }
+                } else if null_zero {
+                    existing.len() == row.len()
+                        && existing.iter().zip(row.iter()).all(|(a, b)| {
+                            a.same_as(b)
+                                || (a.same_as(&Value::Integer(0)) && b.is_null())
+                                || (a.is_null() && b.same_as(&Value::Integer(0)))
+                        })
+                } else {
+                    existing.len() == row.len()
+                        && existing.iter().zip(row.iter()).all(|(a, b)| a.same_as(b))
+                }
+            });
+            if !duplicate {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The original inline equality-probe detection, kept here so the
+/// reference path does not depend on `exec::access` (whose helpers the
+/// pipeline and planner share).
+fn reference_equality_probe(expr: &Expr) -> Option<(String, Value)> {
+    match expr {
+        Expr::Binary { op: BinaryOp::Eq, left, right } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => {
+                Some((c.column.clone(), v.clone()))
+            }
+            (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => {
+                Some((c.column.clone(), v.clone()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}

@@ -32,5 +32,6 @@ pub use coverage::Coverage;
 pub use dialect::Dialect;
 pub use error::{EngineError, EngineResult, ErrorClass};
 pub use eval::{Evaluator, RowSchema, SourceSchema};
+pub use exec::batch::RowBatch;
 pub use exec::{Engine, QueryResult};
 pub use plan::{PlanFingerprint, PlanNode, QueryPlan, ScanKind};

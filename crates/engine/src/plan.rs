@@ -40,11 +40,12 @@
 
 use std::fmt;
 
-use lancer_sql::ast::expr::{BinaryOp, Expr};
+use lancer_sql::ast::expr::Expr;
 use lancer_sql::ast::stmt::{CompoundOp, JoinKind, Query, Select, SelectItem};
 use lancer_sql::value::Value;
 
 use crate::dialect::Dialect;
+use crate::exec::access::{find_equality_probe, probe_candidates};
 use crate::exec::Engine;
 
 /// A stable 64-bit digest of a [`QueryPlan`]'s text rendering.
@@ -397,9 +398,10 @@ impl Engine {
     /// Finds the index an equality probe would use, if any, and decides
     /// whether it is covering.
     ///
-    /// The base conditions match `index_equality_probe` in
-    /// `exec/query.rs` — non-partial, first key is the probed column.  On
-    /// top of that the planner enforces the soundness rule a real planner
+    /// The candidate list is [`probe_candidates`] — the *same* catalog
+    /// fact the executor's pipeline assembly reads (non-partial, first
+    /// key is the probed column), so the two cannot drift apart.  On top
+    /// of that the planner enforces the soundness rule a real planner
     /// applies and the executor's fast path deliberately omits: on a
     /// dialect with collations, a *text* probe may only use an index
     /// whose first-key collation equals the column's declared collation
@@ -410,17 +412,7 @@ impl Engine {
     fn eligible_index(&self, table: &str, col: &str, lit: &Value, s: &Select) -> Option<ScanKind> {
         let schema = &self.database().table(table)?.schema;
         let col_meta = schema.column(col)?;
-        for idx in self.database().indexes_on(table) {
-            if idx.def.where_clause.is_some() {
-                continue;
-            }
-            let first_is_col = matches!(
-                idx.def.exprs.first(),
-                Some(Expr::Column(c)) if c.column.eq_ignore_ascii_case(col)
-            );
-            if !first_is_col {
-                continue;
-            }
+        for idx in probe_candidates(self.database(), table, col) {
             if self.dialect() == Dialect::Sqlite && matches!(lit, Value::Text(_)) {
                 let key_collation = idx.def.collations.first().copied().unwrap_or_default();
                 if key_collation != col_meta.collation {
@@ -462,23 +454,6 @@ impl Engine {
             });
         }
         None
-    }
-}
-
-/// Detects a `col = literal` equality probe, mirroring the executor's
-/// `find_equality_probe` (the WHERE root must be the equality itself).
-fn find_equality_probe(expr: &Expr) -> Option<(String, Value)> {
-    match expr {
-        Expr::Binary { op: BinaryOp::Eq, left, right } => match (left.as_ref(), right.as_ref()) {
-            (Expr::Column(c), Expr::Literal(v)) if !v.is_null() => {
-                Some((c.column.clone(), v.clone()))
-            }
-            (Expr::Literal(v), Expr::Column(c)) if !v.is_null() => {
-                Some((c.column.clone(), v.clone()))
-            }
-            _ => None,
-        },
-        _ => None,
     }
 }
 

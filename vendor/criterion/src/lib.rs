@@ -8,14 +8,122 @@
 //! `bench_with_input`/`finish`, [`Bencher::iter`], [`BenchmarkId`] and
 //! [`Throughput`] — with plain wall-clock measurement: each benchmark
 //! runs a short warm-up, then `sample_size` timed batches, and prints
-//! mean time per iteration.  No statistics, plots, or `target/criterion`
-//! reports; the point is that `cargo bench` runs and the benches cannot
-//! rot unnoticed.
+//! mean time per iteration.  No statistics or plots; the point is that
+//! `cargo bench` runs and the benches cannot rot unnoticed.
+//!
+//! Two of upstream criterion's CLI modes are honoured (pass them after
+//! `--`, e.g. `cargo bench -- --quick`):
+//!
+//! * `--quick` — short warm-up, 3 samples, small batches: seconds per
+//!   binary instead of minutes, for CI trend tracking.
+//! * `--test` — run every benchmark routine exactly once, untimed: the
+//!   smoke mode `cargo bench -- --test` provides upstream.
+//!
+//! When the `CRITERION_SUMMARY` environment variable names a file, the
+//! binary additionally writes a machine-readable JSON summary of every
+//! measurement on exit (see [`write_summary`]) — CI uploads
+//! `BENCH_throughput.json` this way so the perf trajectory of the
+//! executor and the replay cache is tracked per commit.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// How the binary was asked to run (parsed once from the process args).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (the default).
+    Full,
+    /// Abbreviated measurement (`--quick`).
+    Quick,
+    /// Run each routine once, untimed (`--test`).
+    Test,
+}
+
+fn mode() -> Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        let mut mode = Mode::Full;
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--quick" if mode == Mode::Full => mode = Mode::Quick,
+                _ => {}
+            }
+        }
+        mode
+    })
+}
+
+/// One finished measurement, retained for the JSON summary.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    iterations: u64,
+    throughput_per_sec: Option<f64>,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the JSON summary of every measurement taken so far to the path
+/// named by `CRITERION_SUMMARY`, if set.  Called automatically by the
+/// `main` that [`criterion_main!`] generates; a no-op otherwise (and in
+/// `--test` mode, which measures nothing).
+pub fn write_summary() {
+    let Ok(path) = std::env::var("CRITERION_SUMMARY") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let records = records().lock().expect("bench summary poisoned");
+    let mode_label = match mode() {
+        Mode::Full => "full",
+        Mode::Quick => "quick",
+        Mode::Test => "test",
+    };
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"mode\": \"{mode_label}\",\n"));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let rate = match r.throughput_per_sec {
+            Some(rate) => format!("{rate:.1}"),
+            None => "null".to_owned(),
+        };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}, \
+             \"throughput_per_sec\": {}}}{}\n",
+            json_escape(&r.id),
+            r.ns_per_iter,
+            r.iterations,
+            rate,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write bench summary to {path}: {e}");
+    } else {
+        eprintln!("(bench summary written to {path})");
+    }
+}
 
 /// Re-export matching `criterion::black_box` (now just the std hint).
 pub use std::hint::black_box;
@@ -166,12 +274,28 @@ impl Bencher {
         Bencher { sample_size, total: Duration::ZERO, iterations: 0 }
     }
 
-    /// Times `routine`, discarding a short warm-up first.
+    /// Times `routine`, discarding a short warm-up first.  In `--test`
+    /// mode the routine runs exactly once, untimed; in `--quick` mode the
+    /// warm-up, sample count and batch target are all shrunk.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up: run until ~20ms or 3 iterations, whichever is later.
+        match mode() {
+            Mode::Test => {
+                black_box(routine());
+                return;
+            }
+            Mode::Quick | Mode::Full => {}
+        }
+        let quick = mode() == Mode::Quick;
+        let (min_warmup_iters, warmup_budget, batch_target, max_batch) = if quick {
+            (1u64, Duration::from_millis(2), Duration::from_millis(1), 1_000u64)
+        } else {
+            (3u64, Duration::from_millis(20), Duration::from_millis(5), 100_000u64)
+        };
+        // Warm-up: run until the budget elapses or the minimum iteration
+        // count is reached, whichever is later.
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
-        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(20) {
+        while warmup_iters < min_warmup_iters || warmup_start.elapsed() < warmup_budget {
             black_box(routine());
             warmup_iters += 1;
             if warmup_iters >= 10_000 {
@@ -181,12 +305,13 @@ impl Bencher {
         // Scale the batch so a sample takes a measurable slice of time.
         let per_iter = warmup_start.elapsed().checked_div(warmup_iters as u32).unwrap_or_default();
         let batch = if per_iter.is_zero() {
-            1_000
+            max_batch.min(1_000)
         } else {
-            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000)
+            (batch_target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, max_batch as u128)
                 as u64
         };
-        for _ in 0..self.sample_size {
+        let samples = if quick { self.sample_size.min(3) } else { self.sample_size };
+        for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -197,21 +322,33 @@ impl Bencher {
     }
 
     fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if mode() == Mode::Test {
+            println!("test bench {id}: ok");
+            return;
+        }
         if self.iterations == 0 {
             println!("bench {id}: no iterations recorded");
             return;
         }
         let per_iter = self.total.as_nanos() as f64 / self.iterations as f64;
-        let rate = match throughput {
-            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
-                format!(" ({:.0} elem/s)", n as f64 * 1e9 / per_iter)
+        let per_sec = match throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                Some(n as f64 * 1e9 / per_iter)
             }
-            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
-                format!(" ({:.0} B/s)", n as f64 * 1e9 / per_iter)
-            }
+            _ => None,
+        };
+        let rate = match (throughput, per_sec) {
+            (Some(Throughput::Elements(_)), Some(r)) => format!(" ({r:.0} elem/s)"),
+            (Some(Throughput::Bytes(_)), Some(r)) => format!(" ({r:.0} B/s)"),
             _ => String::new(),
         };
         println!("bench {id}: {:.1} ns/iter over {} iterations{rate}", per_iter, self.iterations);
+        records().lock().expect("bench summary poisoned").push(Record {
+            id: id.to_owned(),
+            ns_per_iter: per_iter,
+            iterations: self.iterations,
+            throughput_per_sec: per_sec,
+        });
     }
 }
 
@@ -234,11 +371,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares the benchmark binary's `main`, mirroring criterion's macro.
+/// After every group has run, a JSON summary is written if
+/// `CRITERION_SUMMARY` names a file (see [`write_summary`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_summary();
         }
     };
 }
