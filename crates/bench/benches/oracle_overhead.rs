@@ -162,7 +162,7 @@ fn reduce_and_attribute_cached(
     let mut cache = ReplayCache::new(Dialect::Sqlite);
     let mut work = 0usize;
     for (statements, repro) in detections {
-        let mut session = ReplaySession::new(&mut cache, statements);
+        let mut session = ReplaySession::new(&mut cache, "containment", statements);
         if session.reproduces_all(&none, repro) || !session.reproduces_all(profile, repro) {
             continue;
         }

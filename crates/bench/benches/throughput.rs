@@ -3,7 +3,7 @@
 //! evaluating the queries, not the tester.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lancer_core::{ContainmentOracle, GenConfig, StateGenerator};
+use lancer_core::{ContainmentOracle, GenConfig, NorecOracle, StateGenerator};
 use lancer_engine::{BugProfile, Dialect, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,6 +44,27 @@ fn bench_containment_checks(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_norec_checks(c: &mut Criterion) {
+    // Per-check cost of the NoREC oracle (plan both sides + execute the
+    // optimized query and its SUM(CASE ...) rewrite).  The summary JSON
+    // CI uploads therefore carries NoREC check counts/rates next to the
+    // containment ones, so a rewrite- or planner-level regression shows
+    // up in the BENCH_throughput.json trend.
+    let mut group = c.benchmark_group("norec_check");
+    for dialect in Dialect::ALL {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut engine = Engine::with_bugs(dialect, BugProfile::all_for(dialect));
+        let mut generator = StateGenerator::new(dialect, GenConfig::default());
+        let _ = generator.generate_database(&mut rng, &mut engine);
+        let oracle = NorecOracle::new(dialect, GenConfig::default());
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(dialect.name()), &dialect, |b, _| {
+            b.iter(|| std::hint::black_box(oracle.check_once(&mut rng, &mut engine)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_statement_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("statements_per_second");
     for dialect in Dialect::ALL {
@@ -66,6 +87,7 @@ fn bench_statement_execution(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_state_generation, bench_containment_checks, bench_statement_execution
+    targets = bench_state_generation, bench_containment_checks, bench_norec_checks,
+        bench_statement_execution
 }
 criterion_main!(benches);

@@ -7,10 +7,13 @@
 //! are counted but the state is never mutated, so its findings are exactly
 //! the classic campaign's) and the plan-guided campaign
 //! (`CampaignBuilder::plan_guidance(true)`), then compares unique
-//! [`lancer_engine::PlanFingerprint`] counts, mutation counts and oracle
-//! findings.  The paper's claim, reproduced here: steering generation
-//! toward new query plans strictly increases the number of distinct plans
-//! the DBMS executes.
+//! [`lancer_engine::PlanFingerprint`] counts, mutation counts, oracle
+//! findings and *bug-finding speed* — the number of per-query oracle
+//! checks until the first detection appeared
+//! ([`lancer_core::CampaignStats::first_detection_check`]), guidance off
+//! vs on.  The paper's claim, reproduced here: steering generation toward
+//! new query plans strictly increases the number of distinct plans the
+//! DBMS executes.
 
 use lancer_bench::{dump_json, print_table, ReportOptions};
 use lancer_core::CampaignReport;
@@ -31,6 +34,12 @@ fn main() {
         let unguided = opts.campaign_builder(dialect).plan_observation(true).run();
         let guided = opts.campaign_builder(dialect).plan_guidance(true).run();
         all_strict &= guided.stats.unique_plans > unguided.stats.unique_plans;
+        // "Checks until first finding": the earliest per-query check at
+        // which any worker raised a detection (lower = faster).
+        let speed = |first: Option<u64>| match first {
+            Some(n) => n.to_string(),
+            None => "-".to_owned(),
+        };
         rows.push(vec![
             dialect.name().to_owned(),
             unguided.stats.unique_plans.to_string(),
@@ -44,13 +53,26 @@ fn main() {
             guided.stats.plan_mutations.to_string(),
             unguided.found.len().to_string(),
             guided.found.len().to_string(),
+            speed(unguided.stats.first_detection_check),
+            speed(guided.stats.first_detection_check),
         ]);
         reports.push((format!("{}_unguided", dialect.name()), unguided));
         reports.push((format!("{}_guided", dialect.name()), guided));
     }
     print_table(
-        "QPG: unique query plans and findings, guidance off vs on (same seed/budget)",
-        &["DBMS", "plans (off)", "plans (on)", "delta", "mutations", "found (off)", "found (on)"],
+        "QPG: unique query plans, findings and bug-finding speed, guidance off vs on \
+         (same seed/budget)",
+        &[
+            "DBMS",
+            "plans (off)",
+            "plans (on)",
+            "delta",
+            "mutations",
+            "found (off)",
+            "found (on)",
+            "checks to 1st (off)",
+            "checks to 1st (on)",
+        ],
         &rows,
     );
     println!(

@@ -32,24 +32,41 @@ pub struct ReportOptions {
     pub queries_per_database: usize,
     /// Worker threads per campaign.
     pub threads: usize,
+    /// Whether the NoREC oracle is registered (`--norec`).  Off by
+    /// default so the historical Table 2/3 output stays byte-identical;
+    /// the derived-substream contract guarantees that turning it on only
+    /// ever *adds* a column (see `table3_oracles`).
+    pub norec: bool,
 }
 
 impl Default for ReportOptions {
     fn default() -> Self {
-        ReportOptions { seed: 0x5EED, databases: 40, queries_per_database: 80, threads: 2 }
+        ReportOptions {
+            seed: 0x5EED,
+            databases: 40,
+            queries_per_database: 80,
+            threads: 2,
+            norec: false,
+        }
     }
 }
 
 impl ReportOptions {
-    /// Parses `--seed`, `--databases`, `--queries`, `--threads` from the
-    /// process arguments, falling back to defaults.
+    /// Parses `--seed`, `--databases`, `--queries`, `--threads` and the
+    /// bare `--norec` flag from the process arguments, falling back to
+    /// defaults.
     #[must_use]
     pub fn from_args() -> ReportOptions {
         let mut opts = ReportOptions::default();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
-        while i + 1 < args.len() {
-            let value = &args[i + 1];
+        while i < args.len() {
+            if args[i] == "--norec" {
+                opts.norec = true;
+                i += 1;
+                continue;
+            }
+            let Some(value) = args.get(i + 1) else { break };
             match args[i].as_str() {
                 "--seed" => opts.seed = value.parse().unwrap_or(opts.seed),
                 "--databases" => opts.databases = value.parse().unwrap_or(opts.databases),
@@ -68,18 +85,27 @@ impl ReportOptions {
     }
 
     /// Starts a campaign builder for one dialect with these options
-    /// applied.  All registered oracles run (error + containment + TLP);
-    /// the derived-stream design guarantees the TLP oracle never perturbs
-    /// what the classic pair finds.  Report binaries that need extra knobs
-    /// (e.g. `table_qpg`'s `plan_guidance`) chain them on the result.
+    /// applied.  The historical oracle trio always runs (error +
+    /// containment + TLP) and `--norec` adds the NoREC oracle; the
+    /// derived-stream design guarantees that neither logic oracle perturbs
+    /// what the classic pair finds — nor each other.  Report binaries that
+    /// need extra knobs (e.g. `table_qpg`'s `plan_guidance`) chain them on
+    /// the result.
     #[must_use]
     pub fn campaign_builder(&self, dialect: Dialect) -> lancer_core::CampaignBuilder {
-        Campaign::builder(dialect)
+        let builder = Campaign::builder(dialect)
             .seed(self.seed)
             .databases(self.databases)
             .queries(self.queries_per_database)
             .threads(self.threads)
-            .all_oracles()
+            .oracle("error")
+            .oracle("containment")
+            .oracle("tlp");
+        if self.norec {
+            builder.oracle("norec")
+        } else {
+            builder
+        }
     }
 
     /// Builds the campaign for one dialect (see
@@ -192,5 +218,8 @@ mod tests {
         let c = opts.campaign(Dialect::Mysql);
         assert_eq!(c.dialect(), Dialect::Mysql);
         assert_eq!(c.oracle_names(), vec!["error", "containment", "tlp"]);
+        let with_norec = ReportOptions { norec: true, ..ReportOptions::default() };
+        let c = with_norec.campaign(Dialect::Mysql);
+        assert_eq!(c.oracle_names(), vec!["error", "containment", "tlp", "norec"]);
     }
 }

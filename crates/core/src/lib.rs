@@ -13,9 +13,11 @@
 //! The oracle layer is pluggable: every check implements the
 //! [`oracle::Oracle`] trait and registers in an [`oracle::OracleRegistry`].
 //! Besides containment, an [`oracle::ErrorOracle`] flags unexpected DBMS
-//! errors such as database corruption (§3.3), and an [`oracle::TlpOracle`]
-//! applies ternary logic partitioning — a metamorphic oracle from the
-//! SQLancer lineage that needs no ground truth.  The [`runner`] module
+//! errors such as database corruption (§3.3), an [`oracle::TlpOracle`]
+//! applies ternary logic partitioning, and an [`oracle::NorecOracle`]
+//! compares optimizable queries against their non-optimizing
+//! `SUM(CASE WHEN ...)` rewrites — two metamorphic oracles from the
+//! SQLancer lineage that need no ground truth.  The [`runner`] module
 //! orchestrates whole testing campaigns (random state generation,
 //! detection, reduction, attribution) over any set of registered oracles,
 //! [`qpg`] adds query-plan-guided state mutation (opt-in via
@@ -31,7 +33,7 @@
 //!     .quick()
 //!     .databases(2)
 //!     .queries(10)
-//!     .all_oracles() // error + containment + TLP
+//!     .all_oracles() // error + containment + TLP + NoREC
 //!     .run();
 //! assert!(report.stats.queries_checked > 0);
 //! ```
@@ -52,9 +54,9 @@ pub use interp::{Interpreter, PivotColumn, PivotRow};
 #[allow(deprecated)]
 pub use oracle::OracleOutcome;
 pub use oracle::{
-    quick_scan, rectify, BugWitness, Cadence, ContainmentOracle, DetectionKind, ErrorOracle,
-    Oracle, OracleCtx, OracleFactory, OracleRegistry, OracleReport, ReproSpec, RngStream,
-    TlpOracle,
+    norec_rewrite, norec_sum, plan_uses_index, quick_scan, rectify, BugWitness, Cadence,
+    ContainmentOracle, DetectionKind, ErrorOracle, NorecOracle, Oracle, OracleCtx, OracleFactory,
+    OracleRegistry, OracleReport, ReproSpec, RngStream, TlpOracle,
 };
 pub use qpg::{PlanCoverage, PlanGuide, QpgConfig};
 pub use reduce::{reduce_indices, reduce_statements};

@@ -13,14 +13,16 @@
 //! * [`rectify`] — Algorithm 3, shared by oracles that need a
 //!   guaranteed-`TRUE` predicate.
 //!
-//! Three oracles ship in-tree: [`ContainmentOracle`] (§3.2),
-//! [`ErrorOracle`] (§3.3) and [`TlpOracle`] (ternary logic partitioning,
-//! after Rigger & Su's follow-up work).  Adding a fourth is a matter of
-//! implementing [`Oracle`] and registering it — see the README's
-//! architecture section for a worked example.
+//! Four oracles ship in-tree: [`ContainmentOracle`] (§3.2),
+//! [`ErrorOracle`] (§3.3), [`TlpOracle`] (ternary logic partitioning) and
+//! [`NorecOracle`] (non-optimizing reference engine construction), the
+//! latter two after Rigger & Su's follow-up work.  Adding a fifth is a
+//! matter of implementing [`Oracle`] and registering it — see the README's
+//! architecture section for two worked examples.
 
 pub mod containment;
 pub mod error;
+pub mod norec;
 pub mod tlp;
 
 use lancer_engine::{Dialect, Engine, EngineError};
@@ -35,6 +37,7 @@ use crate::gen::{GenConfig, StateGenerator};
 
 pub use containment::ContainmentOracle;
 pub use error::ErrorOracle;
+pub use norec::{norec_rewrite, norec_sum, plan_uses_index, random_norec_select, NorecOracle};
 pub use tlp::{partition_union, row_multiset, TlpOracle};
 
 /// Rectifies a randomly generated expression so that it evaluates to `TRUE`
@@ -62,6 +65,10 @@ pub enum DetectionKind {
     /// `NOT p` / `p IS NULL` partitions differs from the unpartitioned
     /// result.
     Tlp,
+    /// A NoREC pair mismatch: the optimizable `WHERE p` query fetched a
+    /// different number of rows than its non-optimizing
+    /// `SUM(CASE WHEN p THEN 1 ELSE 0 END)` rewrite counted.
+    Norec,
 }
 
 impl DetectionKind {
@@ -73,6 +80,7 @@ impl DetectionKind {
             DetectionKind::Error => "Error",
             DetectionKind::Crash => "SEGFAULT",
             DetectionKind::Tlp => "TLP",
+            DetectionKind::Norec => "NoREC",
         }
     }
 
@@ -86,6 +94,7 @@ impl DetectionKind {
         match self {
             DetectionKind::Containment | DetectionKind::Error | DetectionKind::Crash => "pqs",
             DetectionKind::Tlp => "tlp",
+            DetectionKind::Norec => "norec",
         }
     }
 }
@@ -110,6 +119,14 @@ pub enum ReproSpec {
         /// The `WHERE p` / `WHERE NOT p` / `WHERE p IS NULL` queries.
         partitions: Vec<Statement>,
     },
+    /// The trigger is the optimizable `WHERE p` query; its row count must
+    /// differ from what the non-optimizing rewrite sums for the bug to
+    /// reproduce.
+    PairMismatch {
+        /// The `SELECT SUM(CASE WHEN p THEN 1 ELSE 0 END) ...` rewrite
+        /// (boxed: a `Statement` would dominate the enum's size).
+        rewritten: Box<Statement>,
+    },
 }
 
 impl ReproSpec {
@@ -121,6 +138,7 @@ impl ReproSpec {
             ReproSpec::UnexpectedError => DetectionKind::Error,
             ReproSpec::Crash => DetectionKind::Crash,
             ReproSpec::PartitionMismatch { .. } => DetectionKind::Tlp,
+            ReproSpec::PairMismatch { .. } => DetectionKind::Norec,
         }
     }
 }
@@ -248,6 +266,24 @@ pub trait Oracle: Send + Sync {
 
     /// Runs one check against the engine's current state.
     fn check(&self, rng: &mut StdRng, engine: &mut Engine, ctx: &OracleCtx<'_>) -> OracleReport;
+
+    /// Per-oracle work counters, read by the campaign runner after all
+    /// workers finish (e.g. NoREC's pairs-checked / plans-diverged pair).
+    /// Oracles that track nothing beyond their witnesses return the default
+    /// empty list.  Implementations must count through interior mutability
+    /// (`check` shares one instance across worker threads), and the values
+    /// must be cumulative, order-independent sums so threaded campaigns
+    /// stay deterministic — the runner snapshots them before a run and
+    /// folds only the delta, so `Campaign::run` stays re-runnable.
+    ///
+    /// The runner currently surfaces the counter names it has
+    /// [`CampaignStats`](crate::CampaignStats) fields for
+    /// (`norec_pairs_checked`, `norec_plan_divergences`); names it does
+    /// not recognize are ignored, so a custom oracle's counters need a
+    /// matching stats field to show up in reports.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// Constructor signature for registry-built oracles.
@@ -255,9 +291,10 @@ pub type OracleFactory = fn(Dialect, &GenConfig) -> Box<dyn Oracle>;
 
 /// A name → constructor registry of oracles.
 ///
-/// [`OracleRegistry::builtin`] registers the three in-tree oracles in
-/// canonical order (`error`, `containment`, `tlp` — the error oracle runs
-/// first per database, mirroring the original runner).  Downstream code can
+/// [`OracleRegistry::builtin`] registers the four in-tree oracles in
+/// canonical order (`error`, `containment`, `tlp`, `norec` — the error
+/// oracle runs first per database, mirroring the original runner).
+/// Downstream code can
 /// [`register`](OracleRegistry::register) additional oracles and hand the
 /// registry to a [`CampaignBuilder`](crate::runner::CampaignBuilder).
 #[derive(Debug, Clone)]
@@ -281,6 +318,7 @@ impl OracleRegistry {
             Box::new(ContainmentOracle::new(dialect, gen.clone()))
         });
         r.register("tlp", |dialect, gen| Box::new(TlpOracle::new(dialect, gen.clone())));
+        r.register("norec", |dialect, gen| Box::new(NorecOracle::new(dialect, gen.clone())));
         r
     }
 
@@ -359,6 +397,8 @@ mod tests {
         assert_eq!(ReproSpec::UnexpectedError.kind(), DetectionKind::Error);
         assert_eq!(ReproSpec::Crash.kind(), DetectionKind::Crash);
         assert_eq!(ReproSpec::PartitionMismatch { partitions: vec![] }.kind(), DetectionKind::Tlp);
+        let rewritten = Box::new(parse_statement("SELECT 1").unwrap());
+        assert_eq!(ReproSpec::PairMismatch { rewritten }.kind(), DetectionKind::Norec);
     }
 
     #[test]
@@ -367,10 +407,12 @@ mod tests {
         assert_eq!(DetectionKind::Error.label(), "Error");
         assert_eq!(DetectionKind::Crash.label(), "SEGFAULT");
         assert_eq!(DetectionKind::Tlp.label(), "TLP");
+        assert_eq!(DetectionKind::Norec.label(), "NoREC");
         assert_eq!(DetectionKind::Containment.dedup_domain(), "pqs");
         assert_eq!(DetectionKind::Error.dedup_domain(), "pqs");
         assert_eq!(DetectionKind::Crash.dedup_domain(), "pqs");
         assert_eq!(DetectionKind::Tlp.dedup_domain(), "tlp");
+        assert_eq!(DetectionKind::Norec.dedup_domain(), "norec");
     }
 
     #[test]
@@ -390,7 +432,7 @@ mod tests {
     #[test]
     fn registry_builds_builtins_in_canonical_order() {
         let registry = OracleRegistry::builtin();
-        assert_eq!(registry.names(), vec!["error", "containment", "tlp"]);
+        assert_eq!(registry.names(), vec!["error", "containment", "tlp", "norec"]);
         let gen = GenConfig::tiny();
         for name in registry.names() {
             let oracle = registry.build(name, Dialect::Sqlite, &gen).expect("builtin");

@@ -1,0 +1,466 @@
+//! The NoREC oracle (non-optimizing reference engine construction).
+//!
+//! A metamorphic logic oracle after Rigger & Su, "Detecting Optimization
+//! Bugs in Database Engines via Non-Optimizing Reference Engine
+//! Construction": for a random predicate `p`, the number of rows fetched
+//! by the *optimizable* query
+//!
+//! ```text
+//! SELECT <columns> FROM <tables> WHERE p
+//! ```
+//!
+//! must equal the value computed by its *non-optimizing* rewrite
+//!
+//! ```text
+//! SELECT SUM(CASE WHEN p THEN 1 ELSE 0 END) FROM <tables>
+//! ```
+//!
+//! The rewrite moves `p` out of the `WHERE` clause, so the engine cannot
+//! route it through the index fast path, the partial-index shortcut or the
+//! LIKE optimisation — every row is scanned and `p` is evaluated per row
+//! inside the `CASE`.  Any count difference pins an optimization bug,
+//! which is exactly the class the pivot-row containment oracle is weakest
+//! at (it only fires when the mishandled row happens to be the pivot).
+//!
+//! Where the original paper had to *assume* the rewrite defeats the
+//! optimizer, this reproduction can check it: both sides of every pair
+//! are planned via [`Engine::explain`], and the oracle counts the pairs
+//! where the optimized plan probes an index while the rewrite plans only
+//! full scans ([`plan_uses_index`], SEARCH vs SCAN) — reported as
+//! [`CampaignStats::norec_plan_divergences`].
+//!
+//! [`CampaignStats::norec_plan_divergences`]: crate::CampaignStats::norec_plan_divergences
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lancer_engine::{Dialect, Engine, PlanNode, QueryPlan, QueryResult, ScanKind};
+use lancer_sql::ast::expr::AggFunc;
+use lancer_sql::ast::stmt::{Query, Select, SelectItem, Statement};
+use lancer_sql::ast::Expr;
+use lancer_sql::value::Value;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::gen::{random_expression, random_value, GenConfig, VisibleColumn};
+use crate::oracle::{BugWitness, Cadence, Oracle, OracleCtx, OracleReport, ReproSpec};
+
+/// Builds the non-optimizing rewrite of a filtered `SELECT`: the same
+/// `FROM` list with the `WHERE` predicate folded into
+/// `SUM(CASE WHEN p THEN 1 ELSE 0 END)`.  Returns `None` when the select
+/// has no `WHERE` clause (there is nothing to de-optimize) or uses query
+/// shapes the count comparison would not survive (grouping, `DISTINCT`,
+/// `LIMIT`/`OFFSET`, or aggregate select items — an aggregate projection
+/// collapses the optimized side to one row regardless of how many rows
+/// satisfy `p`).
+#[must_use]
+pub fn norec_rewrite(select: &Select) -> Option<Select> {
+    let predicate = select.where_clause.clone()?;
+    let has_aggregate_item = select.items.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        SelectItem::Wildcard => false,
+    });
+    if select.distinct
+        || has_aggregate_item
+        || !select.group_by.is_empty()
+        || select.having.is_some()
+        || select.limit.is_some()
+        || select.offset.is_some()
+    {
+        return None;
+    }
+    Some(Select {
+        distinct: false,
+        items: vec![SelectItem::Expr {
+            expr: Expr::Aggregate {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(Expr::case_when(predicate, Expr::int(1), Expr::int(0)))),
+                distinct: false,
+            },
+            alias: None,
+        }],
+        from: select.from.clone(),
+        joins: select.joins.clone(),
+        where_clause: None,
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+        offset: None,
+    })
+}
+
+/// Extracts the rewrite's satisfied-row count from its result: the single
+/// `SUM(...)` cell, with `NULL` (the sum over zero rows) reading as 0.
+/// Returns `None` for result shapes the rewrite cannot produce, so a
+/// replay against a diverged engine fails closed instead of comparing
+/// garbage.
+#[must_use]
+pub fn norec_sum(result: &QueryResult) -> Option<i64> {
+    match result.rows.as_slice() {
+        [row] => match row.as_slice() {
+            [Value::Null] => Some(0),
+            [Value::Integer(i)] => Some(*i),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Returns `true` when any scan in the plan goes through an index
+/// (SEARCH / covering SEARCH) rather than reading the whole table.
+#[must_use]
+pub fn plan_uses_index(plan: &QueryPlan) -> bool {
+    fn walk(node: &PlanNode) -> bool {
+        match node {
+            PlanNode::Scan { kind, .. } => !matches!(kind, ScanKind::Full),
+            PlanNode::Missing { .. } | PlanNode::Values => false,
+            PlanNode::View { input, .. }
+            | PlanNode::Filter { input }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input } => walk(input),
+            PlanNode::Join { left, right, .. } | PlanNode::Compound { left, right, .. } => {
+                walk(left) || walk(right)
+            }
+        }
+    }
+    walk(plan.root())
+}
+
+/// Generates the optimized half of a NoREC pair: all columns of up to
+/// [`GenConfig::max_pivot_tables`] non-empty tables, filtered by a random
+/// predicate.  Half the predicates are biased toward the executor's index
+/// fast path — `col = literal` is the only WHERE root shape
+/// `find_equality_probe` accepts, so these are the pairs where the
+/// optimized side can take an index probe the rewrite cannot; the other
+/// half are unrestricted Algorithm-1 expressions, which reach the LIKE
+/// optimisation and the partial-index shortcut.  Returns `None` when
+/// every table is empty.  Shared with the `norec_differential` suite so
+/// the property tests exercise exactly the query population the oracle
+/// checks.
+#[must_use]
+pub fn random_norec_select<R: Rng>(
+    rng: &mut R,
+    engine: &Engine,
+    config: &GenConfig,
+) -> Option<Select> {
+    let dialect = engine.dialect();
+    let mut tables: Vec<String> = engine
+        .database()
+        .table_names()
+        .into_iter()
+        .filter(|t| engine.database().table(t).is_some_and(|tb| !tb.is_empty()))
+        .collect();
+    if tables.is_empty() {
+        return None;
+    }
+    tables.shuffle(rng);
+    let n = rng.gen_range(1..=tables.len().min(config.max_pivot_tables.max(1)));
+    tables.truncate(n);
+
+    let mut columns = Vec::new();
+    for t in &tables {
+        let table = engine.database().table(t)?;
+        for c in &table.schema.columns {
+            columns.push(VisibleColumn { table: t.clone(), meta: c.clone() });
+        }
+    }
+
+    let predicate = if rng.gen_bool(0.5) {
+        let c = columns.choose(rng)?;
+        Expr::qcol(c.table.clone(), c.meta.name.clone())
+            .eq(Expr::Literal(random_value(rng, dialect)))
+    } else {
+        random_expression(rng, &columns, dialect, 0)
+    };
+    let items: Vec<SelectItem> = columns
+        .iter()
+        .map(|c| SelectItem::Expr {
+            expr: Expr::qcol(c.table.clone(), c.meta.name.clone()),
+            alias: None,
+        })
+        .collect();
+    Some(Select {
+        distinct: false,
+        items,
+        from: tables,
+        joins: Vec::new(),
+        where_clause: Some(predicate),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+        offset: None,
+    })
+}
+
+/// The NoREC oracle: compares an optimizable filtered query against its
+/// non-optimizing `SUM(CASE WHEN ...)` rewrite.
+#[derive(Debug)]
+pub struct NorecOracle {
+    /// The dialect under test.
+    pub dialect: Dialect,
+    /// Generation parameters (table cap, expression depth).
+    pub config: GenConfig,
+    /// Pairs where both sides executed and the counts were compared.
+    pairs_checked: AtomicU64,
+    /// Compared pairs where the optimized side planned an index probe
+    /// (SEARCH) while the rewrite planned only full scans — the rewrite
+    /// demonstrably disabled the fast path, the assumption the original
+    /// NoREC paper could not verify.
+    plan_divergences: AtomicU64,
+}
+
+impl NorecOracle {
+    /// Creates a NoREC oracle.
+    #[must_use]
+    pub fn new(dialect: Dialect, config: GenConfig) -> Self {
+        NorecOracle {
+            dialect,
+            config,
+            pairs_checked: AtomicU64::new(0),
+            plan_divergences: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs one pair comparison against the engine's current state.
+    pub fn check_once<R: Rng>(&self, rng: &mut R, engine: &mut Engine) -> OracleReport {
+        let Some(optimized) = random_norec_select(rng, engine, &self.config) else {
+            return OracleReport::Skipped;
+        };
+        let predicate =
+            optimized.where_clause.clone().expect("generated pairs always have a WHERE clause");
+        let rewritten = norec_rewrite(&optimized).expect("the optimized query has a WHERE clause");
+        let optimized_q = Query::Select(Box::new(optimized));
+        let rewritten_q = Query::Select(Box::new(rewritten));
+
+        // Plan both sides before executing anything (planning is pure).
+        // The pair "diverges" when the optimized side would probe an index
+        // and the rewrite would not — the rewrite really did disable the
+        // fast path for this pair.
+        let plans_diverge = plan_uses_index(&engine.explain(&optimized_q))
+            && !plan_uses_index(&engine.explain(&rewritten_q));
+
+        // Any execution error means the check cannot be performed — errors
+        // are the error oracle's jurisdiction, not NoREC's.
+        let optimized_stmt = Statement::Select(optimized_q);
+        let rewritten_stmt = Statement::Select(rewritten_q);
+        let Ok(result) = engine.execute(&optimized_stmt) else { return OracleReport::Skipped };
+        let count = result.rows.len() as i64;
+        let Ok(rewrite_result) = engine.execute(&rewritten_stmt) else {
+            return OracleReport::Skipped;
+        };
+        let Some(sum) = norec_sum(&rewrite_result) else { return OracleReport::Skipped };
+
+        self.pairs_checked.fetch_add(1, Ordering::Relaxed);
+        if plans_diverge {
+            self.plan_divergences.fetch_add(1, Ordering::Relaxed);
+        }
+        if count == sum {
+            OracleReport::Passed
+        } else {
+            OracleReport::bug(BugWitness {
+                trigger: optimized_stmt,
+                message: format!(
+                    "NoREC mismatch for predicate {predicate}: the optimized query fetched \
+                     {count} row(s) but the non-optimizing rewrite counted {sum}"
+                ),
+                repro: ReproSpec::PairMismatch { rewritten: Box::new(rewritten_stmt) },
+            })
+        }
+    }
+}
+
+impl Oracle for NorecOracle {
+    fn name(&self) -> &'static str {
+        "norec"
+    }
+
+    fn cadence(&self) -> Cadence {
+        Cadence::PerQuery
+    }
+
+    fn check(&self, rng: &mut StdRng, engine: &mut Engine, _ctx: &OracleCtx<'_>) -> OracleReport {
+        self.check_once(rng, engine)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("norec_pairs_checked", self.pairs_checked.load(Ordering::Relaxed)),
+            ("norec_plan_divergences", self.plan_divergences.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::StateGenerator;
+    use crate::oracle::DetectionKind;
+    use lancer_engine::{BugId, BugProfile};
+    use rand::SeedableRng;
+
+    #[test]
+    fn norec_passes_on_correct_engines() {
+        for dialect in Dialect::ALL {
+            let mut rng = StdRng::seed_from_u64(29);
+            let mut engine = Engine::new(dialect);
+            let mut generator = StateGenerator::new(dialect, GenConfig::tiny());
+            let _ = generator.generate_database(&mut rng, &mut engine);
+            let oracle = NorecOracle::new(dialect, GenConfig::tiny());
+            for _ in 0..120 {
+                let report = oracle.check_once(&mut rng, &mut engine);
+                assert!(
+                    !matches!(report, OracleReport::Bugs(_)),
+                    "{dialect:?}: NoREC false positive: {report:#?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn norec_skips_empty_databases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut engine = Engine::new(Dialect::Sqlite);
+        let oracle = NorecOracle::new(Dialect::Sqlite, GenConfig::tiny());
+        assert_eq!(oracle.check_once(&mut rng, &mut engine), OracleReport::Skipped);
+        assert_eq!(oracle.counters()[0], ("norec_pairs_checked", 0));
+    }
+
+    #[test]
+    fn rewrite_refuses_unsupported_shapes() {
+        let select = |sql: &str| match lancer_sql::parse_statement(sql).unwrap() {
+            Statement::Select(Query::Select(s)) => *s,
+            other => panic!("not a plain select: {other:?}"),
+        };
+        assert!(norec_rewrite(&select("SELECT c0 FROM t0")).is_none(), "no WHERE");
+        assert!(norec_rewrite(&select("SELECT DISTINCT c0 FROM t0 WHERE c0 = 1")).is_none());
+        assert!(norec_rewrite(&select("SELECT c0 FROM t0 WHERE c0 = 1 LIMIT 2")).is_none());
+        assert!(norec_rewrite(&select("SELECT c0 FROM t0 WHERE c0 = 1 GROUP BY c0")).is_none());
+        assert!(
+            norec_rewrite(&select("SELECT COUNT(*) FROM t0 WHERE c0 = 1")).is_none(),
+            "an aggregate projection collapses the row count the pair compares"
+        );
+        let rewritten = norec_rewrite(&select("SELECT c0 FROM t0 WHERE c0 = 1")).unwrap();
+        assert_eq!(
+            Statement::Select(Query::Select(Box::new(rewritten))).to_string(),
+            "SELECT SUM(CASE WHEN (c0 = 1) THEN 1 ELSE 0 END) FROM t0"
+        );
+    }
+
+    #[test]
+    fn norec_sum_reads_only_the_rewrite_shape() {
+        let result =
+            |rows: Vec<Vec<Value>>| QueryResult { columns: vec!["SUM".into()], rows, affected: 0 };
+        assert_eq!(norec_sum(&result(vec![vec![Value::Integer(3)]])), Some(3));
+        assert_eq!(norec_sum(&result(vec![vec![Value::Null]])), Some(0), "empty-input SUM");
+        assert_eq!(norec_sum(&result(vec![])), None);
+        assert_eq!(norec_sum(&result(vec![vec![Value::Real(1.0)]])), None);
+        assert_eq!(
+            norec_sum(&result(vec![vec![Value::Integer(1)], vec![Value::Integer(2)]])),
+            None
+        );
+    }
+
+    #[test]
+    fn norec_rediscovers_the_collation_index_fault() {
+        // §4.4 COLLATE fault: the index on a NOCASE column is built with
+        // BINARY keys, so the optimized side's equality probe misses
+        // case-differing rows while the rewrite's full scan counts them.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut found = false;
+        for _attempt in 0..40 {
+            let mut engine = Engine::with_bugs(
+                Dialect::Sqlite,
+                BugProfile::with(&[BugId::SqliteCollateIndexBinaryKeys]),
+            );
+            engine
+                .execute_script(
+                    "CREATE TABLE t0(c0 TEXT COLLATE NOCASE);
+                     CREATE INDEX i0 ON t0(c0);
+                     INSERT INTO t0(c0) VALUES ('a'), ('A'), ('b');",
+                )
+                .unwrap();
+            let oracle = NorecOracle::new(Dialect::Sqlite, GenConfig::tiny());
+            for _ in 0..500 {
+                if let OracleReport::Bugs(witnesses) = oracle.check_once(&mut rng, &mut engine) {
+                    assert_eq!(witnesses[0].kind(), DetectionKind::Norec);
+                    assert!(matches!(
+                        &witnesses[0].repro,
+                        ReproSpec::PairMismatch { rewritten }
+                            if matches!(**rewritten, Statement::Select(_))
+                    ));
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        assert!(found, "the NoREC oracle should rediscover the collation-index fault");
+    }
+
+    #[test]
+    fn plan_divergence_is_counted_for_probe_pairs() {
+        // On an indexed integer column the optimized side plans a SEARCH
+        // while the rewrite (no WHERE clause) plans a full SCAN, so checked
+        // pairs with the equality-probe bias must record plan divergences —
+        // but predicates that never reach the fast path must not.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = Engine::new(Dialect::Sqlite);
+        engine
+            .execute_script(
+                "CREATE TABLE t0(c0 INT);
+                 CREATE INDEX i0 ON t0(c0);
+                 INSERT INTO t0(c0) VALUES (1), (2), (3);",
+            )
+            .unwrap();
+        let oracle = NorecOracle::new(Dialect::Sqlite, GenConfig::tiny());
+        for _ in 0..200 {
+            let _ = oracle.check_once(&mut rng, &mut engine);
+        }
+        let counters: std::collections::BTreeMap<_, _> = oracle.counters().into_iter().collect();
+        assert!(counters["norec_pairs_checked"] > 0);
+        assert!(
+            counters["norec_plan_divergences"] > 0,
+            "equality probes on an indexed column must plan differently from the rewrite"
+        );
+        assert!(
+            counters["norec_plan_divergences"] < counters["norec_pairs_checked"],
+            "unrestricted Algorithm-1 predicates mostly stay on full scans"
+        );
+    }
+
+    #[test]
+    fn rewrite_fingerprint_differs_from_the_optimized_probe() {
+        // The acceptance assertion: on an indexed column, the optimized
+        // query's plan is an index probe (SEARCH) and the rewrite's is a
+        // full scan, so their fingerprints differ.
+        let mut engine = Engine::new(Dialect::Sqlite);
+        engine
+            .execute_script(
+                "CREATE TABLE t0(c0 INT, c1 INT);
+                 CREATE INDEX i0 ON t0(c0);
+                 INSERT INTO t0(c0, c1) VALUES (1, 10), (2, 20);",
+            )
+            .unwrap();
+        let optimized =
+            match lancer_sql::parse_statement("SELECT t0.c0, t0.c1 FROM t0 WHERE t0.c0 = 1")
+                .unwrap()
+            {
+                Statement::Select(Query::Select(s)) => *s,
+                other => panic!("not a plain select: {other:?}"),
+            };
+        let rewritten = norec_rewrite(&optimized).unwrap();
+        let optimized_plan = engine.explain(&Query::Select(Box::new(optimized)));
+        let rewrite_plan = engine.explain(&Query::Select(Box::new(rewritten)));
+        assert!(plan_uses_index(&optimized_plan), "{optimized_plan}");
+        assert!(!plan_uses_index(&rewrite_plan), "{rewrite_plan}");
+        assert_ne!(optimized_plan.fingerprint(), rewrite_plan.fingerprint());
+        assert!(optimized_plan.to_string().contains("SEARCH t0 USING INDEX i0"));
+        assert!(rewrite_plan.to_string().contains("SCAN t0"));
+    }
+}

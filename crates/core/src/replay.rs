@@ -32,7 +32,7 @@ use std::fmt::{self, Write as _};
 use lancer_engine::{BugProfile, Dialect, Engine};
 use lancer_sql::ast::stmt::Statement;
 
-use crate::oracle::{partition_union, row_multiset, ErrorOracle, ReproSpec};
+use crate::oracle::{norec_sum, partition_union, row_multiset, ErrorOracle, ReproSpec};
 
 /// Memoized engine snapshots keyed by fault profile and statement-log
 /// prefix, shared across every replay of a campaign's post-processing.
@@ -46,12 +46,17 @@ pub struct ReplayCache {
     /// logs, surviving reduction candidates) pay it once and then serve
     /// every later replay.
     seen: HashSet<u64>,
-    /// Memoized verdicts keyed by (profile, full statement sequence,
-    /// repro spec).  Delta debugging re-tries the same candidate across
-    /// outer rounds — most blatantly the final no-change sweep, which
-    /// re-replays every candidate against the settled sequence — and the
-    /// engine is deterministic, so an identical question has an identical
-    /// answer.
+    /// Memoized verdicts keyed by (oracle name, profile, full statement
+    /// sequence, repro spec).  Delta debugging re-tries the same candidate
+    /// across outer rounds — most blatantly the final no-change sweep,
+    /// which re-replays every candidate against the settled sequence — and
+    /// the engine is deterministic, so an identical question has an
+    /// identical answer.  The oracle name is part of the key so that two
+    /// oracles asking over the *same* log prefix (say a NoREC
+    /// [`ReproSpec::PairMismatch`] and a TLP
+    /// [`ReproSpec::PartitionMismatch`] from one generated database) can
+    /// never be served each other's memo entry, even if their spec hashes
+    /// were to collide.
     verdicts: HashMap<u64, bool>,
     max_snapshots: usize,
     stats: ReplayCacheStats,
@@ -120,16 +125,21 @@ impl ReplayCache {
 
     /// Cached equivalent of [`crate::runner::reproduces`]: same verdict,
     /// but the setup replay resumes from the deepest cached prefix.
+    /// `oracle` is the registry name of the oracle that raised the
+    /// detection; it scopes the verdict memo (snapshots are shared across
+    /// oracles — replaying a prefix is oracle-independent, judging a
+    /// trigger is not).
     #[must_use]
     pub fn reproduces(
         &mut self,
+        oracle: &str,
         profile: &BugProfile,
         statements: &[Statement],
         repro: &ReproSpec,
     ) -> bool {
         let refs: Vec<&Statement> = statements.iter().collect();
         let hashes: Vec<u64> = refs.iter().map(|s| statement_hash(s)).collect();
-        self.reproduces_refs(profile, &refs, &hashes, repro)
+        self.reproduces_refs(oracle, profile, &refs, &hashes, repro)
     }
 
     /// The shared replay core: `stmts[..len-1]` is the setup (replayed
@@ -137,6 +147,7 @@ impl ReplayCache {
     /// checked against the repro spec.
     fn reproduces_refs(
         &mut self,
+        oracle: &str,
         profile: &BugProfile,
         stmts: &[&Statement],
         hashes: &[u64],
@@ -147,7 +158,7 @@ impl ReplayCache {
         }
         let sequence_key =
             hashes.iter().fold(profile_key(self.dialect, profile), |key, h| combine(key, *h));
-        let verdict_key = combine(sequence_key, repro_hash(repro));
+        let verdict_key = combine(combine(sequence_key, fnv1a_str(oracle)), repro_hash(repro));
         if let Some(&verdict) = self.verdicts.get(&verdict_key) {
             self.stats.verdict_hits += 1;
             return verdict;
@@ -218,16 +229,23 @@ impl ReplayCache {
 #[derive(Debug)]
 pub struct ReplaySession<'a> {
     cache: &'a mut ReplayCache,
+    oracle: &'a str,
     statements: &'a [Statement],
     hashes: Vec<u64>,
 }
 
 impl<'a> ReplaySession<'a> {
-    /// Binds a detection's statement log to the cache.
+    /// Binds a detection's statement log to the cache.  `oracle` is the
+    /// registry name of the oracle that raised the detection; every
+    /// verdict asked through this session is memoized under it.
     #[must_use]
-    pub fn new(cache: &'a mut ReplayCache, statements: &'a [Statement]) -> ReplaySession<'a> {
+    pub fn new(
+        cache: &'a mut ReplayCache,
+        oracle: &'a str,
+        statements: &'a [Statement],
+    ) -> ReplaySession<'a> {
         let hashes = statements.iter().map(statement_hash).collect();
-        ReplaySession { cache, statements, hashes }
+        ReplaySession { cache, oracle, statements, hashes }
     }
 
     /// Number of statements in the bound log.
@@ -255,7 +273,7 @@ impl<'a> ReplaySession<'a> {
     ) -> bool {
         let stmts: Vec<&Statement> = keep.iter().map(|&i| &self.statements[i]).collect();
         let hashes: Vec<u64> = keep.iter().map(|&i| self.hashes[i]).collect();
-        self.cache.reproduces_refs(profile, &stmts, &hashes, repro)
+        self.cache.reproduces_refs(self.oracle, profile, &stmts, &hashes, repro)
     }
 
     /// [`reproduces_subset`](ReplaySession::reproduces_subset) over the
@@ -264,7 +282,7 @@ impl<'a> ReplaySession<'a> {
     pub fn reproduces_all(&mut self, profile: &BugProfile, repro: &ReproSpec) -> bool {
         let stmts: Vec<&Statement> = self.statements.iter().collect();
         let hashes = self.hashes.clone();
-        self.cache.reproduces_refs(profile, &stmts, &hashes, repro)
+        self.cache.reproduces_refs(self.oracle, profile, &stmts, &hashes, repro)
     }
 }
 
@@ -289,6 +307,20 @@ pub(crate) fn confirms(engine: &mut Engine, last: &Statement, repro: &ReproSpec)
                     None => false,
                 }
             }
+            // A NoREC mismatch reproduces when the optimized row count
+            // still disagrees with the rewrite's sum; a rewrite error (or
+            // a result shape the rewrite cannot produce) means the
+            // mismatch cannot be confirmed.
+            ReproSpec::PairMismatch { rewritten } if last.is_read_only() => {
+                let count = result.rows.len() as i64;
+                match engine.execute(rewritten) {
+                    Ok(rewrite_result) => match norec_sum(&rewrite_result) {
+                        Some(sum) => count != sum,
+                        None => false,
+                    },
+                    Err(_) => false,
+                }
+            }
             _ => false,
         },
         Err(e) => match repro {
@@ -297,7 +329,9 @@ pub(crate) fn confirms(engine: &mut Engine, last: &Statement, repro: &ReproSpec)
             // A logic detection reproduces only when the query runs; an
             // error is a different failure mode and must be attributed
             // through an Error/Crash detection instead.
-            ReproSpec::MissingRow(_) | ReproSpec::PartitionMismatch { .. } => false,
+            ReproSpec::MissingRow(_)
+            | ReproSpec::PartitionMismatch { .. }
+            | ReproSpec::PairMismatch { .. } => false,
         },
     }
 }
@@ -332,7 +366,17 @@ fn repro_hash(repro: &ReproSpec) -> u64 {
                 let _ = write!(w, "\u{1f}{p}");
             }
         }
+        ReproSpec::PairMismatch { rewritten } => {
+            let _ = write!(w, "pair-mismatch\u{1f}{rewritten}");
+        }
     }
+    w.0
+}
+
+/// FNV-1a over an oracle registry name, for the verdict-memo key.
+fn fnv1a_str(name: &str) -> u64 {
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    let _ = w.write_str(name);
     w.0
 }
 
@@ -398,8 +442,8 @@ mod tests {
             for profile in [BugProfile::none(), lancer_engine::BugProfile::all_for(Dialect::Sqlite)]
             {
                 let uncached = crate::runner::reproduces(Dialect::Sqlite, &profile, &stmts, &repro);
-                assert_eq!(cache.reproduces(&profile, &stmts, &repro), uncached);
-                assert_eq!(cache.reproduces(&profile, &stmts, &repro), uncached);
+                assert_eq!(cache.reproduces("containment", &profile, &stmts, &repro), uncached);
+                assert_eq!(cache.reproduces("containment", &profile, &stmts, &repro), uncached);
             }
         }
         let stats = cache.stats();
@@ -418,7 +462,7 @@ mod tests {
              SELECT * FROM t0;",
         );
         let mut cache = ReplayCache::new(Dialect::Sqlite);
-        let mut session = ReplaySession::new(&mut cache, &stmts);
+        let mut session = ReplaySession::new(&mut cache, "containment", &stmts);
         let repro_a = ReproSpec::MissingRow(vec![Value::Integer(1)]);
         let repro_b = ReproSpec::MissingRow(vec![Value::Integer(99)]);
         let none = BugProfile::none();
@@ -453,13 +497,13 @@ mod tests {
         let repro_b = ReproSpec::MissingRow(vec![Value::Integer(2)]);
         let none = BugProfile::none();
         let all = lancer_engine::BugProfile::all_for(Dialect::Sqlite);
-        let _ = cache.reproduces(&none, &stmts, &repro_a);
-        let _ = cache.reproduces(&none, &stmts, &repro_b);
+        let _ = cache.reproduces("containment", &none, &stmts, &repro_a);
+        let _ = cache.reproduces("containment", &none, &stmts, &repro_b);
         let before = cache.snapshot_count();
         assert!(before > 0);
-        let _ = cache.reproduces(&all, &stmts, &repro_a);
+        let _ = cache.reproduces("containment", &all, &stmts, &repro_a);
         assert_eq!(cache.snapshot_count(), before, "a new profile starts cold");
-        let _ = cache.reproduces(&all, &stmts, &repro_b);
+        let _ = cache.reproduces("containment", &all, &stmts, &repro_b);
         assert_eq!(cache.snapshot_count(), before * 2, "distinct profile, distinct prefixes");
     }
 
@@ -468,9 +512,96 @@ mod tests {
         let stmts = script("CREATE TABLE t0(c0); SELECT * FROM t0;");
         let mut cache = ReplayCache::with_max_snapshots(Dialect::Sqlite, 0);
         let repro = ReproSpec::MissingRow(vec![Value::Integer(1)]);
-        assert!(cache.reproduces(&BugProfile::none(), &stmts, &repro));
+        assert!(cache.reproduces("containment", &BugProfile::none(), &stmts, &repro));
         assert_eq!(cache.snapshot_count(), 0);
         assert_eq!(cache.stats().prefix_hits, 0);
+    }
+
+    #[test]
+    fn verdict_memo_is_scoped_per_oracle() {
+        // Regression guard: two oracles asking a question over the same
+        // (profile, statement log, repro spec) triple must not share a
+        // memo entry — the second oracle's verdict is recomputed, not
+        // served from the first oracle's slot.  Before the oracle name
+        // joined the key, the NoREC/TLP pair from one generated database
+        // could cross-hit here.
+        let stmts = script(
+            "CREATE TABLE t0(c0);
+             INSERT INTO t0(c0) VALUES (1), (NULL);
+             SELECT t0.c0 FROM t0;",
+        );
+        let partitions = script(
+            "SELECT t0.c0 FROM t0 WHERE t0.c0 = 1;
+             SELECT t0.c0 FROM t0 WHERE NOT (t0.c0 = 1);
+             SELECT t0.c0 FROM t0 WHERE (t0.c0 = 1) IS NULL;",
+        );
+        let repro = ReproSpec::PartitionMismatch { partitions };
+        let none = BugProfile::none();
+        let mut cache = ReplayCache::new(Dialect::Sqlite);
+        let tlp_verdict = {
+            let mut session = ReplaySession::new(&mut cache, "tlp", &stmts);
+            session.reproduces_all(&none, &repro)
+        };
+        let hits_before = cache.stats().verdict_hits;
+        // The identical question under the *same* oracle name hits the memo...
+        let mut session = ReplaySession::new(&mut cache, "tlp", &stmts);
+        assert_eq!(session.reproduces_all(&none, &repro), tlp_verdict);
+        assert_eq!(session.cache.stats().verdict_hits, hits_before + 1);
+        // ...while the identical question under a different oracle name is
+        // recomputed (same verdict, but no memo hit).
+        let mut session = ReplaySession::new(&mut cache, "norec", &stmts);
+        assert_eq!(session.reproduces_all(&none, &repro), tlp_verdict);
+        assert_eq!(
+            session.cache.stats().verdict_hits,
+            hits_before + 1,
+            "a different oracle must not be served another oracle's memo entry"
+        );
+    }
+
+    #[test]
+    fn pair_mismatch_confirms_via_the_rewrite_sum() {
+        // A correct engine satisfies the NoREC property, so the detection
+        // does not reproduce...
+        let stmts = script(
+            "CREATE TABLE t0(c0);
+             INSERT INTO t0(c0) VALUES (1), (2), (NULL);
+             SELECT t0.c0 FROM t0 WHERE t0.c0 = 1;",
+        );
+        let rewritten = Box::new(
+            lancer_sql::parse_statement(
+                "SELECT SUM(CASE WHEN t0.c0 = 1 THEN 1 ELSE 0 END) FROM t0",
+            )
+            .unwrap(),
+        );
+        let none = BugProfile::none();
+        assert!(!crate::runner::reproduces(
+            Dialect::Sqlite,
+            &none,
+            &stmts,
+            &ReproSpec::PairMismatch { rewritten: rewritten.clone() }
+        ));
+        // ...while a rewrite that disagrees with the trigger's count does
+        // (the synthetic analogue of an optimization bug), and a rewrite
+        // that errors out fails closed.
+        let wrong = Box::new(
+            lancer_sql::parse_statement(
+                "SELECT SUM(CASE WHEN t0.c0 = 9 THEN 1 ELSE 0 END) FROM t0",
+            )
+            .unwrap(),
+        );
+        assert!(crate::runner::reproduces(
+            Dialect::Sqlite,
+            &none,
+            &stmts,
+            &ReproSpec::PairMismatch { rewritten: wrong }
+        ));
+        let broken = Box::new(lancer_sql::parse_statement("SELECT SUM(c0) FROM missing").unwrap());
+        assert!(!crate::runner::reproduces(
+            Dialect::Sqlite,
+            &none,
+            &stmts,
+            &ReproSpec::PairMismatch { rewritten: broken }
+        ));
     }
 
     #[test]

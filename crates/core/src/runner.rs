@@ -80,6 +80,9 @@ impl Serialize for Detection {
                 "partition_mismatch".to_owned(),
                 J::Array(partitions.iter().map(|s| J::String(s.to_string())).collect()),
             )]),
+            ReproSpec::PairMismatch { rewritten } => {
+                J::Object(vec![("pair_mismatch".to_owned(), J::String(rewritten.to_string()))])
+            }
         };
         J::Object(vec![
             ("oracle".to_owned(), J::String(self.oracle.to_owned())),
@@ -341,7 +344,8 @@ impl CampaignBuilder {
     }
 
     /// Registers every oracle of the registry, in canonical registry order
-    /// (`error`, `containment`, `tlp` for the builtin registry), skipping
+    /// (`error`, `containment`, `tlp`, `norec` for the builtin registry),
+    /// skipping
     /// any oracle already requested by name — so combining it with explicit
     /// [`oracle`](CampaignBuilder::oracle) calls (or calling it twice)
     /// never duplicates an oracle.
@@ -490,6 +494,13 @@ impl Campaign {
         let mut stats = CampaignStats::default();
         let mut coverage = lancer_engine::Coverage::new();
 
+        // Counter baseline: oracle counters are cumulative interior-
+        // mutability sums on shared instances, so `run()` (which takes
+        // `&self` and is re-runnable) folds only the *delta* accrued by
+        // this run — a second run of the same campaign reports identical
+        // counter stats instead of doubled ones.
+        let counter_baseline: Vec<Vec<(&'static str, u64)>> =
+            self.oracles.iter().map(|o| o.counters()).collect();
         let per_thread = self.databases.div_ceil(threads);
         let results: Vec<(Vec<Detection>, CampaignStats, lancer_engine::Coverage, PlanCoverage)> =
             std::thread::scope(|scope| {
@@ -510,11 +521,37 @@ impl Campaign {
             stats.unexpected_errors += s.unexpected_errors;
             stats.crashes += s.crashes;
             stats.tlp_violations += s.tlp_violations;
+            stats.norec_violations += s.norec_violations;
             stats.plan_mutations += s.plan_mutations;
+            // The earliest point (in per-query checks) at which *any*
+            // worker raised its first detection — the "checks until first
+            // finding" bug-finding-speed metric `table_qpg` reports.
+            stats.first_detection_check =
+                match (stats.first_detection_check, s.first_detection_check) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
             coverage.merge(&c);
             plan_coverage.merge(&p);
         }
         stats.unique_plans = plan_coverage.unique_plans();
+        // Per-oracle work counters (interior-mutability sums shared across
+        // the workers, read once here as the delta over this run's
+        // baseline).  The runner folds the counter names it has stats
+        // fields for; unknown names are ignored — custom oracles wanting
+        // their counters surfaced need a matching `CampaignStats` field.
+        for (oracle, baseline) in self.oracles.iter().zip(&counter_baseline) {
+            for (name, value) in oracle.counters() {
+                let before =
+                    baseline.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0);
+                let delta = value.saturating_sub(before);
+                match name {
+                    "norec_pairs_checked" => stats.norec_pairs_checked += delta,
+                    "norec_plan_divergences" => stats.norec_plan_divergences += delta,
+                    _ => {}
+                }
+            }
+        }
 
         // Reduction + attribution + deduplication.  Deduplication is
         // per-domain (see [`DetectionKind::dedup_domain`]): the PQS kinds
@@ -535,7 +572,8 @@ impl Campaign {
         let mut seen: BTreeMap<&'static str, BTreeSet<BugId>> = BTreeMap::new();
         let none = BugProfile::none();
         for detection in raw {
-            let mut session = ReplaySession::new(&mut cache, &detection.statements);
+            let mut session =
+                ReplaySession::new(&mut cache, detection.oracle, &detection.statements);
             // Discard detections that also "reproduce" without any fault:
             // those indicate oracle divergence, the analogue of a false bug
             // report.
@@ -685,6 +723,10 @@ impl Campaign {
                             DetectionKind::Error => stats.unexpected_errors += 1,
                             DetectionKind::Crash => stats.crashes += 1,
                             DetectionKind::Tlp => stats.tlp_violations += 1,
+                            DetectionKind::Norec => stats.norec_violations += 1,
+                        }
+                        if stats.first_detection_check.is_none() {
+                            stats.first_detection_check = Some(stats.queries_checked);
                         }
                         let mut statements = log.clone();
                         statements.push(witness.trigger.clone());
@@ -756,6 +798,19 @@ pub struct CampaignStats {
     pub crashes: u64,
     /// Raw TLP partition mismatches observed (before dedup).
     pub tlp_violations: u64,
+    /// Raw NoREC pair mismatches observed (before dedup).
+    pub norec_violations: u64,
+    /// NoREC pairs where both sides executed and their counts were
+    /// compared (0 unless the `norec` oracle is registered).
+    pub norec_pairs_checked: u64,
+    /// Compared NoREC pairs whose plan fingerprints diverged — the rewrite
+    /// demonstrably disabled an access-path choice (SEARCH vs SCAN).
+    pub norec_plan_divergences: u64,
+    /// The number of per-query oracle checks a worker had performed when
+    /// the campaign's first raw detection appeared (minimum across
+    /// workers); `None` when the campaign found nothing.  This is the
+    /// "checks until first finding" bug-finding-speed metric.
+    pub first_detection_check: Option<u64>,
     /// Detections that also reproduce with every fault disabled (oracle
     /// divergence); they are discarded, mirroring false bug reports.
     pub spurious: u64,
@@ -858,6 +913,7 @@ impl CampaignReport {
                     DetectionKind::Error => row.triggered_error += 1,
                     DetectionKind::Crash => row.triggered_crash += 1,
                     DetectionKind::Tlp => row.triggered_tlp += 1,
+                    DetectionKind::Norec => row.triggered_norec += 1,
                 }
             }
         }
@@ -949,6 +1005,8 @@ pub struct StatementDistributionRow {
     pub triggered_crash: usize,
     /// Triggering statement count for the TLP oracle.
     pub triggered_tlp: usize,
+    /// Triggering statement count for the NoREC oracle.
+    pub triggered_norec: usize,
 }
 
 impl StatementDistributionRow {
@@ -961,6 +1019,7 @@ impl StatementDistributionRow {
             triggered_error: 0,
             triggered_crash: 0,
             triggered_tlp: 0,
+            triggered_norec: 0,
         }
     }
 }
@@ -1182,31 +1241,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown oracle 'norec'")]
+    #[should_panic(expected = "unknown oracle 'qpg-fuzz'")]
     fn unknown_oracle_names_panic_at_build() {
-        let _ = Campaign::builder(Dialect::Sqlite).oracle("norec").build();
+        let _ = Campaign::builder(Dialect::Sqlite).oracle("qpg-fuzz").build();
     }
 
     #[test]
-    fn registering_tlp_does_not_change_pqs_findings() {
+    fn registering_logic_oracles_does_not_change_pqs_findings() {
         // The load-bearing property behind the Table 3 acceptance check:
-        // adding a derived-stream oracle leaves the primary-stream oracles'
-        // detections (and thus the Contains/Error/SEGFAULT columns)
-        // bit-identical at the same seed.
+        // adding derived-stream oracles (TLP *and* NoREC) leaves the
+        // primary-stream oracles' detections (and thus the
+        // Contains/Error/SEGFAULT columns) bit-identical at the same seed.
         let classic = quick_campaign(Dialect::Sqlite).databases(8).queries(30).run();
         let extended = quick_campaign(Dialect::Sqlite).databases(8).queries(30).all_oracles().run();
+        assert_eq!(extended.oracles, vec!["error", "containment", "tlp", "norec"]);
         let classic_pqs: Vec<(BugId, DetectionKind)> =
             classic.found.iter().map(|f| (f.id, f.kind)).collect();
         let extended_pqs: Vec<(BugId, DetectionKind)> = extended
             .found
             .iter()
-            .filter(|f| f.kind != DetectionKind::Tlp)
+            .filter(|f| f.kind.dedup_domain() == "pqs")
             .map(|f| (f.id, f.kind))
             .collect();
         assert_eq!(classic_pqs, extended_pqs);
         assert_eq!(classic.stats.containment_violations, extended.stats.containment_violations);
         assert_eq!(classic.stats.unexpected_errors, extended.stats.unexpected_errors);
         assert_eq!(classic.stats.crashes, extended.stats.crashes);
+        assert_eq!(classic.stats.norec_pairs_checked, 0, "norec is not registered by default");
+    }
+
+    #[test]
+    fn registering_norec_does_not_change_tlp_findings_either() {
+        // Derived substreams are keyed by oracle *name*, so adding NoREC
+        // next to TLP leaves the TLP stream untouched as well.
+        let with_tlp = quick_campaign(Dialect::Mysql).databases(8).queries(40).oracle("tlp").run();
+        let with_both = quick_campaign(Dialect::Mysql)
+            .databases(8)
+            .queries(40)
+            .oracle("tlp")
+            .oracle("norec")
+            .run();
+        assert_eq!(with_tlp.stats.tlp_violations, with_both.stats.tlp_violations);
+        let tlp_only: Vec<BugId> = with_tlp.found.iter().map(|f| f.id).collect();
+        let tlp_of_both: Vec<BugId> =
+            with_both.found.iter().filter(|f| f.kind == DetectionKind::Tlp).map(|f| f.id).collect();
+        assert_eq!(tlp_only, tlp_of_both);
+        assert!(with_both.stats.norec_pairs_checked > 0, "norec must actually check pairs");
     }
 
     #[test]
@@ -1239,12 +1319,25 @@ mod tests {
     }
 
     #[test]
+    fn rerunning_a_campaign_reports_identical_counter_stats() {
+        // `run()` takes `&self`, so the same Campaign can run twice; the
+        // cumulative oracle counters must be folded as per-run deltas or
+        // the second report would double them.
+        let campaign = quick_campaign(Dialect::Sqlite).all_oracles().build();
+        let first = campaign.run();
+        let second = campaign.run();
+        assert!(first.stats.norec_pairs_checked > 0);
+        assert_eq!(first.stats.norec_pairs_checked, second.stats.norec_pairs_checked);
+        assert_eq!(first.stats.norec_plan_divergences, second.stats.norec_plan_divergences);
+    }
+
+    #[test]
     fn all_oracles_deduplicates_requested_names() {
         let combined =
             Campaign::builder(Dialect::Sqlite).oracle("containment").all_oracles().build();
-        assert_eq!(combined.oracle_names(), vec!["containment", "error", "tlp"]);
+        assert_eq!(combined.oracle_names(), vec!["containment", "error", "tlp", "norec"]);
         let twice = Campaign::builder(Dialect::Sqlite).all_oracles().all_oracles().build();
-        assert_eq!(twice.oracle_names(), vec!["error", "containment", "tlp"]);
+        assert_eq!(twice.oracle_names(), vec!["error", "containment", "tlp", "norec"]);
     }
 
     #[test]

@@ -25,6 +25,8 @@ use lancer_sql::value::Value;
 use lancer_storage::index::Index;
 use lancer_storage::Database;
 
+use crate::dialect::Dialect;
+
 /// Detects a WHERE clause that is exactly `col = literal` (either operand
 /// order) and returns the probed column and literal.  The WHERE root must
 /// be the equality itself; conjunctions are not searched, mirroring the
@@ -43,6 +45,20 @@ pub(crate) fn find_equality_probe(expr: &Expr) -> Option<(String, Value)> {
         },
         _ => None,
     }
+}
+
+/// Returns `true` when an equality probe on `table` would be unsound
+/// because the table is a PostgreSQL inheritance parent: its indexes only
+/// cover its *own* rows, while a scan of the parent also returns child
+/// rows, so serving the query from the index would silently drop every
+/// matching child row.  (Found by the NoREC oracle on a fault-free
+/// engine — the `WHERE p` side probed the parent index, the
+/// `SUM(CASE WHEN p ...)` rewrite scanned parent + children.)  Shared by
+/// both executors and the planner so all three refuse the probe
+/// identically.
+#[must_use]
+pub(crate) fn probe_blocked_by_inheritance(db: &Database, dialect: Dialect, table: &str) -> bool {
+    dialect == Dialect::Postgres && db.has_children(table)
 }
 
 /// The indexes on `table` that an equality probe on `col` could use:

@@ -31,7 +31,7 @@ use lancer_sql::value::Value;
 use crate::bugs::BugId;
 use crate::error::EngineResult;
 use crate::eval::RowSchema;
-use crate::exec::access::{find_equality_probe, probe_candidates};
+use crate::exec::access::{find_equality_probe, probe_blocked_by_inheritance, probe_candidates};
 use crate::exec::batch::RowBatch;
 use crate::exec::query::{
     concat_row, cross_product, expr_references_column, find_is_not_literal_column,
@@ -304,6 +304,9 @@ impl Engine {
         schema: &RowSchema,
         rows: Vec<Vec<Value>>,
     ) -> EngineResult<Vec<Vec<Value>>> {
+        if probe_blocked_by_inheritance(&self.db, self.dialect(), table) {
+            return Ok(rows);
+        }
         let Some(t) = self.db.table(table) else { return Ok(rows) };
         let table_schema = t.schema.clone();
         let Some(col_meta) = table_schema.column(col).cloned() else { return Ok(rows) };

@@ -424,6 +424,9 @@ impl Engine {
         schema: &RowSchema,
         rows: Vec<Vec<Value>>,
     ) -> EngineResult<Vec<Vec<Value>>> {
+        if crate::exec::access::probe_blocked_by_inheritance(&self.db, self.dialect(), table) {
+            return Ok(rows);
+        }
         let Some(t) = self.db.table(table) else { return Ok(rows) };
         let table_schema = t.schema.clone();
         let Some(col_meta) = table_schema.column(col).cloned() else { return Ok(rows) };

@@ -45,7 +45,7 @@ use lancer_sql::ast::stmt::{CompoundOp, JoinKind, Query, Select, SelectItem};
 use lancer_sql::value::Value;
 
 use crate::dialect::Dialect;
-use crate::exec::access::{find_equality_probe, probe_candidates};
+use crate::exec::access::{find_equality_probe, probe_blocked_by_inheritance, probe_candidates};
 use crate::exec::Engine;
 
 /// A stable 64-bit digest of a [`QueryPlan`]'s text rendering.
@@ -410,6 +410,13 @@ impl Engine {
     /// index the executor would happily probe — the plan reports the
     /// sound choice, not the fast path's.
     fn eligible_index(&self, table: &str, col: &str, lit: &Value, s: &Select) -> Option<ScanKind> {
+        // An inheritance parent's index covers only its own rows, never
+        // the children a parent scan includes — both executors refuse the
+        // probe there (see `probe_blocked_by_inheritance`), and so does
+        // the plan.
+        if probe_blocked_by_inheritance(self.database(), self.dialect(), table) {
+            return None;
+        }
         let schema = &self.database().table(table)?.schema;
         let col_meta = schema.column(col)?;
         for idx in probe_candidates(self.database(), table, col) {

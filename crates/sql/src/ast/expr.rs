@@ -504,6 +504,23 @@ impl Expr {
         Expr::binary(BinaryOp::Eq, self, other)
     }
 
+    /// Builds a single-branch searched case:
+    /// `CASE WHEN when THEN then ELSE else_expr END`.
+    ///
+    /// This is the shape of the NoREC rewrite (Rigger & Su): wrapping a
+    /// predicate `p` as `CASE WHEN p THEN 1 ELSE 0 END` moves it out of
+    /// the `WHERE` clause — and therefore out of the reach of every
+    /// filter-level optimisation — while preserving its ternary logic
+    /// (`NULL` falls through to the `ELSE` arm).
+    #[must_use]
+    pub fn case_when(when: Expr, then: Expr, else_expr: Expr) -> Expr {
+        Expr::Case {
+            operand: None,
+            branches: vec![(when, then)],
+            else_expr: Some(Box::new(else_expr)),
+        }
+    }
+
     /// Returns the number of nodes in the expression tree.
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -642,6 +659,18 @@ mod tests {
     fn agg_parse_round_trip() {
         for f in AggFunc::ALL {
             assert_eq!(AggFunc::parse(f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn case_when_builds_the_norec_shape() {
+        let e = Expr::case_when(Expr::col("c0").eq(Expr::int(1)), Expr::int(1), Expr::int(0));
+        assert_eq!(e.to_string(), "CASE WHEN (c0 = 1) THEN 1 ELSE 0 END");
+        match e {
+            Expr::Case { operand: None, branches, else_expr: Some(_) } => {
+                assert_eq!(branches.len(), 1);
+            }
+            other => panic!("unexpected shape: {other:?}"),
         }
     }
 

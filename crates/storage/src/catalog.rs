@@ -145,6 +145,16 @@ impl Database {
             .collect()
     }
 
+    /// Whether any table inherits from the given parent — the
+    /// allocation-free form of `!children_of(parent).is_empty()`, for
+    /// per-probe checks on hot executor/planner paths.
+    #[must_use]
+    pub fn has_children(&self, parent: &str) -> bool {
+        self.tables
+            .values()
+            .any(|t| t.schema.inherits.as_deref().is_some_and(|p| p.eq_ignore_ascii_case(parent)))
+    }
+
     // --------------------------------------------------------------- indexes
 
     /// Registers an index.

@@ -89,10 +89,57 @@ fn multi_threaded_split_matches_itself() {
 fn all_oracle_campaigns_are_deterministic_too() {
     let first = quick(Dialect::Sqlite).all_oracles().threads(2).run();
     let second = quick(Dialect::Sqlite).all_oracles().threads(2).run();
-    assert_eq!(first.oracles, vec!["error", "containment", "tlp"]);
+    assert_eq!(first.oracles, vec!["error", "containment", "tlp", "norec"]);
     assert_eq!(
         fingerprint(&first),
         fingerprint(&second),
         "derived oracle substreams must be deterministic"
     );
+}
+
+#[test]
+fn registered_norec_campaigns_are_deterministic_at_both_thread_counts() {
+    // Satellite guard for the NoREC substream: a campaign with the NoREC
+    // oracle registered is bit-identical to itself at the same seed, both
+    // single-threaded and across the threads(2) worker split — including
+    // the per-oracle pair counters, which are order-independent sums.
+    for threads in [1, 2] {
+        let first = quick(Dialect::Sqlite).all_oracles().threads(threads).run();
+        let second = quick(Dialect::Sqlite).all_oracles().threads(threads).run();
+        assert_eq!(
+            fingerprint(&first),
+            fingerprint(&second),
+            "threads={threads}: registered-NoREC campaigns must be bit-identical"
+        );
+        assert_eq!(first.stats.norec_violations, second.stats.norec_violations);
+        assert_eq!(first.stats.norec_pairs_checked, second.stats.norec_pairs_checked);
+        assert_eq!(first.stats.norec_plan_divergences, second.stats.norec_plan_divergences);
+        assert_eq!(first.stats.first_detection_check, second.stats.first_detection_check);
+        assert!(first.stats.norec_pairs_checked > 0, "norec must check pairs when registered");
+    }
+}
+
+#[test]
+fn norec_unregistered_leaves_existing_tables_bit_identical() {
+    // The Table 2/3 acceptance invariant at test scale: the default
+    // campaign (NoREC unregistered) and the pre-PR oracle trio produce the
+    // same findings and stats as an all-oracle campaign restricted to the
+    // non-NoREC domains — i.e. registering NoREC only ever *adds* a
+    // column, it never perturbs what the other oracles report.
+    let classic = quick(Dialect::Sqlite).oracle("error").oracle("containment").oracle("tlp").run();
+    let with_norec = quick(Dialect::Sqlite).all_oracles().run();
+    assert_eq!(classic.stats.containment_violations, with_norec.stats.containment_violations);
+    assert_eq!(classic.stats.unexpected_errors, with_norec.stats.unexpected_errors);
+    assert_eq!(classic.stats.crashes, with_norec.stats.crashes);
+    assert_eq!(classic.stats.tlp_violations, with_norec.stats.tlp_violations);
+    let classic_found: Vec<String> =
+        classic.found.iter().map(|f| format!("{:?}/{:?}/{}", f.id, f.kind, f.oracle)).collect();
+    let non_norec_found: Vec<String> = with_norec
+        .found
+        .iter()
+        .filter(|f| f.oracle != "norec")
+        .map(|f| format!("{:?}/{:?}/{}", f.id, f.kind, f.oracle))
+        .collect();
+    assert_eq!(classic_found, non_norec_found);
+    assert_eq!(classic.stats.norec_pairs_checked, 0, "unregistered NoREC does no work");
 }

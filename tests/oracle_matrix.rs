@@ -1,0 +1,206 @@
+//! Cross-oracle metamorphic matrix: the whole oracle layer, tested as a
+//! layer.
+//!
+//! Two guarantees, for **every builtin oracle × every dialect**:
+//!
+//! 1. **No false positives.** With every fault disabled the engine is
+//!    reference-correct, so no oracle may report anything over a
+//!    200-check budget — a logic oracle that fires on a correct engine is
+//!    the analogue of a false bug report.
+//! 2. **Signature-fault rediscovery.** Each oracle re-finds the fault
+//!    class it exists for at a pinned seed: the Listing-1 partial-index
+//!    fault via containment *and* via TLP, the Listing-11 MEMORY-engine
+//!    join fault via TLP, and the LIKE-optimisation / collation-index
+//!    faults via NoREC — end to end through reduction and attribution
+//!    where the fault allows it.
+
+use lancer_core::{Campaign, DetectionKind, GenConfig, NorecOracle, OracleRegistry, OracleReport};
+use lancer_engine::{BugId, BugProfile, Dialect, Engine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn no_builtin_oracle_false_positives_on_any_dialect() {
+    let registry = OracleRegistry::builtin();
+    assert_eq!(registry.names(), vec!["error", "containment", "tlp", "norec"]);
+    for dialect in Dialect::ALL {
+        for name in registry.names() {
+            // 5 databases × 40 queries = 200 per-query checks (the error
+            // oracle runs once per database over the generation failures).
+            let report = Campaign::builder(dialect)
+                .quick()
+                .bugs(BugProfile::none())
+                .databases(5)
+                .queries(40)
+                .seed(0x0DD5_EED5)
+                .oracle(name)
+                .run();
+            assert!(
+                report.found.is_empty(),
+                "{name} oracle false positive on a correct {dialect:?} engine: {:#?}",
+                report.found
+            );
+            let s = &report.stats;
+            // The logic oracles must not even raise *raw* detections on a
+            // correct engine.  (The error oracle may: the emulated engine
+            // has warts that fail statements without any fault enabled —
+            // the spurious filter discards those, which the empty `found`
+            // above already proves.)
+            assert_eq!(
+                (s.containment_violations, s.crashes, s.tlp_violations, s.norec_violations),
+                (0, 0, 0, 0),
+                "{name} oracle raised raw logic detections on a correct {dialect:?} engine"
+            );
+            assert_eq!(
+                s.spurious + s.unattributed,
+                s.unexpected_errors,
+                "every raw error-oracle detection on a correct engine must be filtered out"
+            );
+            if name != "error" {
+                assert_eq!(s.queries_checked, 200, "{name}/{dialect:?} must run the full budget");
+            }
+        }
+    }
+}
+
+/// The Listing-1 state (partial index + NULL row) and the fault it hides.
+fn listing1_engine() -> Engine {
+    let mut engine = Engine::with_bugs(
+        Dialect::Sqlite,
+        BugProfile::with(&[BugId::SqlitePartialIndexImpliesNotNull]),
+    );
+    engine
+        .execute_script(
+            "CREATE TABLE t0(c0);
+             CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;
+             INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL);",
+        )
+        .unwrap();
+    engine
+}
+
+#[test]
+fn containment_rediscovers_listing1_in_the_matrix() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let oracle = lancer_core::ContainmentOracle::new(Dialect::Sqlite, GenConfig::tiny());
+    let mut found = false;
+    'outer: for _attempt in 0..40 {
+        let mut engine = listing1_engine();
+        for _ in 0..500 {
+            if let OracleReport::Bugs(w) = oracle.check_once(&mut rng, &mut engine) {
+                assert_eq!(w[0].kind(), DetectionKind::Containment);
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(found, "containment must rediscover the Listing-1 fault at its pinned seed");
+}
+
+#[test]
+fn tlp_rediscovers_listing1_in_the_matrix() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let oracle = lancer_core::TlpOracle::new(Dialect::Sqlite, GenConfig::tiny());
+    let mut found = false;
+    'outer: for _attempt in 0..40 {
+        let mut engine = listing1_engine();
+        for _ in 0..500 {
+            if let OracleReport::Bugs(w) = oracle.check_once(&mut rng, &mut engine) {
+                assert_eq!(w[0].kind(), DetectionKind::Tlp);
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(found, "TLP must rediscover the Listing-1 fault at its pinned seed");
+}
+
+#[test]
+fn tlp_rediscovers_the_join_miss_end_to_end() {
+    // Listing 11: the MEMORY-engine join fault is highly TLP-visible; the
+    // campaign attributes it through reduction and attribution.
+    let report = Campaign::builder(Dialect::Mysql)
+        .quick()
+        .databases(8)
+        .queries(40)
+        .threads(2)
+        .all_oracles()
+        .run();
+    let tlp: Vec<_> = report.found.iter().filter(|f| f.kind == DetectionKind::Tlp).collect();
+    assert!(
+        tlp.iter().any(|f| f.id == BugId::MysqlMemoryEngineJoinMiss),
+        "TLP must attribute the MEMORY-engine join fault; found {:#?}",
+        report.found
+    );
+}
+
+#[test]
+fn norec_rediscovers_the_like_optimisation_fault() {
+    // Listing 7: the LIKE optimisation on INT-affinity NOCASE columns
+    // rejects exact matches — but only when LIKE sits in the WHERE clause.
+    // The NoREC rewrite moves the predicate into a CASE, where the
+    // optimisation cannot fire, so the pair's counts disagree.
+    let mut rng = StdRng::seed_from_u64(13);
+    let oracle = NorecOracle::new(Dialect::Sqlite, GenConfig::tiny());
+    let mut found = false;
+    'outer: for _attempt in 0..60 {
+        let mut engine = Engine::with_bugs(
+            Dialect::Sqlite,
+            BugProfile::with(&[BugId::SqliteLikeIntAffinityOptimisation]),
+        );
+        engine
+            .execute_script(
+                "CREATE TABLE t0(c0 INT UNIQUE COLLATE NOCASE);
+                 INSERT INTO t0(c0) VALUES ('./'), ('a'), ('b');",
+            )
+            .unwrap();
+        for _ in 0..500 {
+            if let OracleReport::Bugs(w) = oracle.check_once(&mut rng, &mut engine) {
+                assert_eq!(w[0].kind(), DetectionKind::Norec);
+                assert!(
+                    w[0].message.contains("NoREC mismatch"),
+                    "unexpected witness: {}",
+                    w[0].message
+                );
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(found, "NoREC must rediscover the LIKE-optimisation fault at its pinned seed");
+}
+
+#[test]
+fn norec_campaign_attributes_an_optimization_bug_end_to_end() {
+    // The acceptance check for this PR: with NoREC registered, a campaign
+    // finds at least one *true* optimization-class bug and attributes it
+    // to the norec oracle, all the way through the spurious filter,
+    // reduction and per-fault attribution.
+    let report = Campaign::builder(Dialect::Sqlite)
+        .quick()
+        .databases(10)
+        .queries(40)
+        .seed(7)
+        .all_oracles()
+        .run();
+    assert!(report.stats.norec_pairs_checked > 0);
+    let norec: Vec<_> = report.found.iter().filter(|f| f.kind == DetectionKind::Norec).collect();
+    assert!(
+        !norec.is_empty(),
+        "expected at least one NoREC-attributed finding; stats: {:#?}",
+        report.stats
+    );
+    assert!(
+        norec.iter().any(|f| f.status.is_true_bug()),
+        "at least one NoREC finding must be a true bug: {norec:#?}"
+    );
+    assert!(
+        norec.iter().any(|f| f.id == BugId::SqliteCollateIndexBinaryKeys),
+        "the collation-index fast-path fault is NoREC's signature catch at this seed: {norec:#?}"
+    );
+    for f in &norec {
+        assert_eq!(f.oracle, "norec");
+        assert_eq!(f.id.info().dialect, Dialect::Sqlite);
+        assert!(!f.reduced_sql.is_empty());
+    }
+}
