@@ -1,0 +1,213 @@
+//! CI perf-regression gate.
+//!
+//! Compares a freshly written `CRITERION_SUMMARY` dump (the
+//! `BENCH_throughput.json` artifact the bench job uploads) against the
+//! committed quick-mode baseline at `ci/bench_baseline.json`, grouping
+//! benchmarks by their criterion group (the id prefix before the first
+//! `/`) and taking the median `ns_per_iter` of each group.  The gate
+//! fails when any group's median regressed by more than the threshold
+//! (default 25%), when a baseline group vanished from the current run,
+//! or when the two files were produced in different measurement modes
+//! (a full-mode run is not comparable against the quick-mode baseline).
+//!
+//! A per-group delta table is printed to stdout and, when the
+//! `GITHUB_STEP_SUMMARY` environment variable names a file, appended
+//! there as Markdown so the deltas show up in the job summary.
+//!
+//! Usage: `bench_compare <baseline.json> <current.json> [--threshold-pct N]`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Median benchmark time per group plus the raw sample count, parsed
+/// from one summary file.
+struct Summary {
+    mode: String,
+    group_medians: BTreeMap<String, (f64, usize)>,
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn load_summary(path: &str) -> Result<Summary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mode = root
+        .get("mode")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path}: missing \"mode\""))?
+        .to_owned();
+    let benchmarks = root
+        .get("benchmarks")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: missing \"benchmarks\" array"))?;
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for b in benchmarks {
+        let id = b
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: benchmark without \"id\""))?;
+        let ns = b
+            .get("ns_per_iter")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("{path}: benchmark {id} without \"ns_per_iter\""))?;
+        let group = id.split('/').next().unwrap_or(id).to_owned();
+        samples.entry(group).or_default().push(ns);
+    }
+    if samples.is_empty() {
+        return Err(format!("{path}: no benchmarks recorded"));
+    }
+    let group_medians = samples
+        .into_iter()
+        .map(|(group, mut ns)| {
+            let count = ns.len();
+            (group, (median(&mut ns), count))
+        })
+        .collect();
+    Ok(Summary { mode, group_medians })
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold-pct" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => threshold_pct = v,
+                None => {
+                    eprintln!("--threshold-pct needs a numeric argument");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [--threshold-pct N]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, current) = match (load_summary(baseline_path), load_summary(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.mode != current.mode {
+        eprintln!(
+            "error: measurement modes differ (baseline \"{}\" vs current \"{}\"); \
+             medians are not comparable — regenerate {baseline_path} in the same mode",
+            baseline.mode, current.mode
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut table = String::new();
+    table.push_str("| group | baseline median | current median | delta | status |\n");
+    table.push_str("|---|---:|---:|---:|---|\n");
+    let mut failures = Vec::new();
+    for (group, &(base_ns, base_n)) in &baseline.group_medians {
+        match current.group_medians.get(group) {
+            None => {
+                failures.push(format!("group \"{group}\" is missing from the current run"));
+                table.push_str(&format!("| {group} | {} | — | — | MISSING |\n", human_ns(base_ns)));
+            }
+            Some(&(cur_ns, cur_n)) => {
+                let delta_pct = (cur_ns / base_ns - 1.0) * 100.0;
+                let regressed = delta_pct > threshold_pct;
+                if regressed {
+                    failures.push(format!(
+                        "group \"{group}\" median regressed {delta_pct:+.1}% \
+                         ({} -> {}, threshold {threshold_pct:.0}%)",
+                        human_ns(base_ns),
+                        human_ns(cur_ns)
+                    ));
+                }
+                if base_n != cur_n {
+                    eprintln!(
+                        "note: group \"{group}\" has {cur_n} benchmarks (baseline had {base_n})"
+                    );
+                }
+                table.push_str(&format!(
+                    "| {group} | {} | {} | {delta_pct:+.1}% | {} |\n",
+                    human_ns(base_ns),
+                    human_ns(cur_ns),
+                    if regressed { "REGRESSED" } else { "ok" }
+                ));
+            }
+        }
+    }
+    for (group, &(cur_ns, _)) in &current.group_medians {
+        if !baseline.group_medians.contains_key(group) {
+            table.push_str(&format!("| {group} | — | {} | — | new |\n", human_ns(cur_ns)));
+        }
+    }
+
+    let verdict = if failures.is_empty() {
+        format!(
+            "All {} baseline groups within the {threshold_pct:.0}% median threshold.",
+            baseline.group_medians.len()
+        )
+    } else {
+        format!("{} group(s) failed the {threshold_pct:.0}% gate.", failures.len())
+    };
+    println!("Bench regression gate ({} mode)\n\n{table}\n{verdict}", baseline.mode);
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary_path.is_empty() {
+            use std::io::Write;
+            let md = format!(
+                "### Bench regression gate ({} mode)\n\n{table}\n{verdict}\n",
+                baseline.mode
+            );
+            if let Err(e) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary_path)
+                .and_then(|mut f| f.write_all(md.as_bytes()))
+            {
+                eprintln!("warning: could not append to {summary_path}: {e}");
+            }
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -105,9 +105,18 @@ pub fn random_value<R: Rng>(rng: &mut R, dialect: Dialect) -> Value {
             let base = ["a", "A", "ab", "Ab", "./", "b", "", " ", "a ", "0.5", "123", "u"];
             Value::Text((*base.choose(rng).expect("non-empty")).to_owned())
         }
-        90..=94 => Value::Blob(vec![rng.gen_range(0..=255u8); rng.gen_range(0..3)]),
+        90..=94 => {
+            if dialect == Dialect::Duckdb {
+                // No BLOB storage class in the strictly typed columnar
+                // profile; substitute a short string.
+                let base = ["a", "A", "ab", ""];
+                Value::Text((*base.choose(rng).expect("non-empty")).to_owned())
+            } else {
+                Value::Blob(vec![rng.gen_range(0..=255u8); rng.gen_range(0..3)])
+            }
+        }
         _ => {
-            if dialect == Dialect::Postgres {
+            if dialect.strict_typing() {
                 Value::Boolean(rng.gen_bool(0.5))
             } else {
                 Value::Integer(i64::from(rng.gen_bool(0.5)))
@@ -127,9 +136,9 @@ pub fn random_expression<R: Rng>(
     dialect: Dialect,
     depth: usize,
 ) -> Expr {
-    if dialect == Dialect::Postgres && depth == 0 {
-        // Force a boolean-producing root (PostgreSQL performs no implicit
-        // conversion to boolean, §3.2).
+    if !dialect.implicit_boolean_conversion() && depth == 0 {
+        // Force a boolean-producing root (PostgreSQL and DuckDB perform no
+        // implicit conversion to boolean, §3.2).
         return random_predicate(rng, columns, dialect, 0);
     }
     let leaf_only = depth >= 4;
@@ -541,6 +550,12 @@ impl StateGenerator {
                     }
                 }
                 4 => Statement::Discard,
+                _ => Statement::Analyze { target: Some(table) },
+            },
+            // The columnar profile's only maintenance surface is ANALYZE
+            // (row-group statistics); no VACUUM/REINDEX/PRAGMA equivalents.
+            Dialect::Duckdb => match rng.gen_range(0..3) {
+                0 => Statement::Analyze { target: None },
                 _ => Statement::Analyze { target: Some(table) },
             },
         };

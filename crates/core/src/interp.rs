@@ -265,7 +265,7 @@ impl Interpreter {
     }
 
     fn bool_value(&self, t: TriBool) -> Value {
-        if self.dialect == Dialect::Postgres {
+        if self.dialect.strict_typing() {
             t.to_bool_value()
         } else {
             t.to_int_value()
@@ -483,7 +483,7 @@ impl Interpreter {
     }
 
     fn div_zero(&self) -> InterpResult<Value> {
-        if self.dialect == Dialect::Postgres {
+        if self.dialect.strict_typing() {
             Err(InterpError("division by zero".into()))
         } else {
             Ok(Value::Null)
@@ -498,7 +498,7 @@ impl Interpreter {
             Value::Real(r) => Ok((None, *r)),
             Value::Boolean(b) => Ok((Some(i64::from(*b)), f64::from(u8::from(*b)))),
             Value::Text(t) => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     Err(InterpError(format!("invalid input for numeric operator {op}: \"{t}\"")))
                 } else {
                     let r = text_numeric_prefix(t);
@@ -511,7 +511,7 @@ impl Interpreter {
                 }
             }
             Value::Blob(_) => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     Err(InterpError("operator does not accept bytea operands".into()))
                 } else {
                     Ok((Some(0), 0.0))
@@ -532,7 +532,7 @@ impl Interpreter {
         }
         match target {
             TypeName::Integer | TypeName::Serial => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     if let Value::Text(ref t) = v {
                         if t.trim().parse::<i64>().is_err() {
                             return Err(InterpError(format!(
@@ -557,7 +557,7 @@ impl Interpreter {
                 other => Ok(Value::Blob(other.to_text_lenient().unwrap_or_default().into_bytes())),
             },
             TypeName::Boolean => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     match &v {
                         Value::Boolean(_) => Ok(v),
                         Value::Integer(i) => Ok(Value::Boolean(*i != 0)),

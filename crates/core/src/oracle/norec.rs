@@ -113,7 +113,9 @@ pub fn norec_sum(result: &QueryResult) -> Option<i64> {
 pub fn plan_uses_index(plan: &QueryPlan) -> bool {
     fn walk(node: &PlanNode) -> bool {
         match node {
-            PlanNode::Scan { kind, .. } => !matches!(kind, ScanKind::Full),
+            PlanNode::Scan { kind, .. } => {
+                matches!(kind, ScanKind::Index { .. } | ScanKind::CoveringIndex { .. })
+            }
             PlanNode::Missing { .. } | PlanNode::Values => false,
             PlanNode::View { input, .. }
             | PlanNode::Filter { input }

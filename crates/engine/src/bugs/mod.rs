@@ -30,6 +30,9 @@ pub enum Oracle {
     Error,
     /// A simulated crash (SEGFAULT).
     Crash,
+    /// The NoREC optimisation-consistency oracle (logic bug that only an
+    /// optimised execution path exhibits).
+    Norec,
 }
 
 impl Oracle {
@@ -40,6 +43,7 @@ impl Oracle {
             Oracle::Containment => "Contains",
             Oracle::Error => "Error",
             Oracle::Crash => "SEGFAULT",
+            Oracle::Norec => "NoREC",
         }
     }
 }
@@ -331,6 +335,26 @@ define_bugs! {
         paper: "Section 4.6",
         desc: "rows inserted through an inheritance child are skipped by parent scans when the parent column is SERIAL"
     },
+
+    // ------------------------------------------- DuckDB-like profile
+    // Extends the population beyond the paper's census with faults whose
+    // root cause only exists in a columnar executor: per-lane selection
+    // bitmaps, row-group statistics and lane-wide aggregate folds.
+    DuckdbSelectionBitmapTailOffByOne => {
+        dialect: Dialect::Duckdb, oracle: Oracle::Containment, status: BugStatus::Fixed,
+        paper: "columnar extension (selection vectors)",
+        desc: "the filter's selection bitmap mishandles the partial tail lane group, dropping the last qualifying row when the input length is not a lane multiple"
+    },
+    DuckdbAnalyzeRowGroupChecksum => {
+        dialect: Dialect::Duckdb, oracle: Oracle::Error, status: BugStatus::Verified,
+        paper: "columnar extension (row-group statistics)",
+        desc: "ANALYZE validates per-row-group checksums and rejects tables whose row count leaves a partial tail row group"
+    },
+    DuckdbSumLaneWideningSkipsTail => {
+        dialect: Dialect::Duckdb, oracle: Oracle::Norec, status: BugStatus::Fixed,
+        paper: "columnar extension (vectorised aggregation)",
+        desc: "the vectorised SUM fold widens lane-width blocks and skips the partial tail block, so SUM over a filtered column undercounts"
+    },
 }
 
 impl BugId {
@@ -439,9 +463,12 @@ mod tests {
         let sqlite = BugId::for_dialect(Dialect::Sqlite).len();
         let mysql = BugId::for_dialect(Dialect::Mysql).len();
         let postgres = BugId::for_dialect(Dialect::Postgres).len();
+        let duckdb = BugId::for_dialect(Dialect::Duckdb).len();
         assert!(sqlite > mysql, "paper found most bugs in SQLite");
         assert!(mysql > postgres, "paper found fewest bugs in PostgreSQL");
-        assert_eq!(sqlite + mysql + postgres, BugId::ALL.len());
+        assert!(postgres > duckdb, "the columnar extension stays smaller than every paper dialect");
+        assert!(duckdb >= 2, "the columnar profile needs at least two faults");
+        assert_eq!(sqlite + mysql + postgres + duckdb, BugId::ALL.len());
     }
 
     #[test]

@@ -14,11 +14,17 @@
 //! * **PostgreSQL-like** — strict typing with few implicit conversions (the
 //!   generated predicate root must be boolean), `SERIAL`, table inheritance,
 //!   `CREATE STATISTICS`, `DISCARD`, `VACUUM FULL`.
+//!
+//! A fourth profile extends the population beyond the paper:
+//!
+//! * **DuckDB-like** — a columnar, strictly typed analytical engine: no
+//!   collations, no type affinity, boolean predicates required, and a
+//!   column-at-a-time executor ([`Dialect::prefers_columnar`]).
 
 use lancer_sql::ast::expr::TypeName;
 use serde::{Deserialize, Serialize};
 
-/// The three emulated DBMS dialects.
+/// The emulated DBMS dialects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Dialect {
     /// SQLite-like profile.
@@ -27,11 +33,14 @@ pub enum Dialect {
     Mysql,
     /// PostgreSQL-like profile.
     Postgres,
+    /// DuckDB-like profile (columnar, strictly typed).
+    Duckdb,
 }
 
 impl Dialect {
     /// All dialects, for iteration in campaigns and benches.
-    pub const ALL: [Dialect; 3] = [Dialect::Sqlite, Dialect::Mysql, Dialect::Postgres];
+    pub const ALL: [Dialect; 4] =
+        [Dialect::Sqlite, Dialect::Mysql, Dialect::Postgres, Dialect::Duckdb];
 
     /// Human-readable name.
     #[must_use]
@@ -40,6 +49,7 @@ impl Dialect {
             Dialect::Sqlite => "sqlite",
             Dialect::Mysql => "mysql",
             Dialect::Postgres => "postgres",
+            Dialect::Duckdb => "duckdb",
         }
     }
 
@@ -50,10 +60,28 @@ impl Dialect {
     }
 
     /// Whether arbitrary expressions are implicitly converted to boolean in
-    /// `WHERE` (true for SQLite and MySQL; PostgreSQL requires a boolean).
+    /// `WHERE` (true for SQLite and MySQL; PostgreSQL and DuckDB require a
+    /// boolean).
     #[must_use]
     pub fn implicit_boolean_conversion(self) -> bool {
-        self != Dialect::Postgres
+        !self.strict_typing()
+    }
+
+    /// Whether the dialect enforces strict typing: no type affinity, no
+    /// implicit conversions between storage classes, boolean predicates
+    /// required at the `WHERE` root.
+    #[must_use]
+    pub fn strict_typing(self) -> bool {
+        matches!(self, Dialect::Postgres | Dialect::Duckdb)
+    }
+
+    /// Whether the executor should use the columnar batch layout
+    /// (column-at-a-time scan, filter and aggregate paths) for this
+    /// dialect.  Off for the three row-store profiles so their execution
+    /// traces stay byte-identical to the row pipeline.
+    #[must_use]
+    pub fn prefers_columnar(self) -> bool {
+        self == Dialect::Duckdb
     }
 
     /// Whether a value of any storage class may be stored in any column
@@ -178,6 +206,9 @@ impl Dialect {
                 TypeName::Boolean,
                 TypeName::Serial,
             ],
+            Dialect::Duckdb => {
+                vec![TypeName::Integer, TypeName::Real, TypeName::Text, TypeName::Boolean]
+            }
         }
     }
 
@@ -213,6 +244,15 @@ impl Dialect {
                 loc: "1.4M",
                 released: 1996,
                 age_years: 23,
+            },
+            // Not part of the paper's census; figures for the emulated
+            // system around the study period (DB-Engines December 2019).
+            Dialect::Duckdb => PaperCharacteristics {
+                db_engines_rank: 217,
+                stackoverflow_rank: 20,
+                loc: "0.2M",
+                released: 2018,
+                age_years: 1,
             },
         }
     }
@@ -256,12 +296,35 @@ mod tests {
     }
 
     #[test]
+    fn duckdb_profile_is_columnar_and_strict() {
+        assert!(Dialect::Duckdb.prefers_columnar());
+        assert!(
+            !Dialect::ALL.iter().any(|d| d.prefers_columnar() && *d != Dialect::Duckdb),
+            "the row-store profiles must keep the row pipeline"
+        );
+        assert!(Dialect::Duckdb.strict_typing());
+        assert!(Dialect::Postgres.strict_typing());
+        assert!(!Dialect::Sqlite.strict_typing());
+        assert!(!Dialect::Mysql.strict_typing());
+        assert!(!Dialect::Duckdb.implicit_boolean_conversion());
+        assert!(!Dialect::Duckdb.has_collations());
+        assert!(!Dialect::Duckdb.dynamic_typing());
+        assert!(!Dialect::Duckdb.allows_untyped_columns());
+        assert!(!Dialect::Duckdb.has_partial_indexes());
+        assert!(!Dialect::Duckdb.has_vacuum());
+        assert!(!Dialect::Duckdb.has_pragma());
+    }
+
+    #[test]
     fn supported_types_respect_dialect() {
         assert!(Dialect::Mysql.supports_type(TypeName::Unsigned));
         assert!(!Dialect::Sqlite.supports_type(TypeName::Unsigned));
         assert!(Dialect::Postgres.supports_type(TypeName::Boolean));
         assert!(!Dialect::Mysql.supports_type(TypeName::Boolean));
         assert!(Dialect::Postgres.supports_type(TypeName::Serial));
+        assert!(Dialect::Duckdb.supports_type(TypeName::Boolean));
+        assert!(!Dialect::Duckdb.supports_type(TypeName::Blob));
+        assert!(!Dialect::Duckdb.supports_type(TypeName::Serial));
     }
 
     #[test]

@@ -252,7 +252,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn tribool_value(&self, t: TriBool) -> Value {
-        if self.dialect == Dialect::Postgres {
+        if self.dialect.strict_typing() {
             t.to_bool_value()
         } else {
             t.to_int_value()
@@ -427,22 +427,7 @@ impl<'a> Evaluator<'a> {
                     }
                 }
                 let coll = self.comparison_collation(left, right, schema);
-                let cmp = self.compare_tri(&lv, &rv, coll);
-                let t = match cmp {
-                    None => TriBool::Unknown,
-                    Some(ord) => {
-                        let b = match op {
-                            BinaryOp::Eq => ord == std::cmp::Ordering::Equal,
-                            BinaryOp::Ne => ord != std::cmp::Ordering::Equal,
-                            BinaryOp::Lt => ord == std::cmp::Ordering::Less,
-                            BinaryOp::Le => ord != std::cmp::Ordering::Greater,
-                            BinaryOp::Gt => ord == std::cmp::Ordering::Greater,
-                            BinaryOp::Ge => ord != std::cmp::Ordering::Less,
-                            _ => unreachable!(),
-                        };
-                        b.into()
-                    }
-                };
+                let t = self.compare_values_tri(op, &lv, &rv, coll);
                 Ok(self.tribool_value(t))
             }
             BinaryOp::Concat => {
@@ -589,7 +574,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn division_by_zero(&self) -> EngineResult<Value> {
-        if self.dialect == Dialect::Postgres {
+        if self.dialect.strict_typing() {
             Err(EngineError::semantic("division by zero"))
         } else {
             Ok(Value::Null)
@@ -656,7 +641,7 @@ impl<'a> Evaluator<'a> {
         }
         match target {
             TypeName::Integer | TypeName::Serial => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     if let Value::Text(ref t) = v {
                         if t.trim().parse::<i64>().is_err() {
                             return Err(EngineError::semantic(format!(
@@ -692,7 +677,7 @@ impl<'a> Evaluator<'a> {
                 other => Ok(Value::Blob(other.to_text_lenient().unwrap_or_default().into_bytes())),
             },
             TypeName::Boolean => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     match &v {
                         Value::Boolean(_) => Ok(v),
                         Value::Integer(i) => Ok(Value::Boolean(*i != 0)),
@@ -742,7 +727,12 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn comparison_collation(&self, left: &Expr, right: &Expr, schema: &RowSchema) -> Collation {
+    pub(crate) fn comparison_collation(
+        &self,
+        left: &Expr,
+        right: &Expr,
+        schema: &RowSchema,
+    ) -> Collation {
         if !self.dialect.has_collations() {
             return Collation::Binary;
         }
@@ -776,6 +766,35 @@ impl<'a> Evaluator<'a> {
         Some(a.total_cmp(b, collation))
     }
 
+    /// Maps a three-valued comparison onto one of the six ordering
+    /// operators.  Shared by the scalar comparison arm above and the
+    /// vectorised filter kernels in `exec::colbatch`, so both layouts
+    /// decide comparisons with literally the same code.  Callers apply
+    /// any fault-driven operand mutations *before* this point.
+    pub(crate) fn compare_values_tri(
+        &self,
+        op: BinaryOp,
+        lv: &Value,
+        rv: &Value,
+        coll: Collation,
+    ) -> TriBool {
+        match self.compare_tri(lv, rv, coll) {
+            None => TriBool::Unknown,
+            Some(ord) => {
+                let b = match op {
+                    BinaryOp::Eq => ord == std::cmp::Ordering::Equal,
+                    BinaryOp::Ne => ord != std::cmp::Ordering::Equal,
+                    BinaryOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinaryOp::Le => ord != std::cmp::Ordering::Greater,
+                    BinaryOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinaryOp::Ge => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!("compare_values_tri is only called with ordering operators"),
+                };
+                b.into()
+            }
+        }
+    }
+
     fn values_equal_nullsafe(&self, a: &Value, b: &Value, collation: Collation) -> bool {
         match (a.is_null(), b.is_null()) {
             (true, true) => true,
@@ -790,7 +809,7 @@ impl<'a> Evaluator<'a> {
             Value::Real(r) => Ok(Num::Real(*r)),
             Value::Boolean(b) => Ok(Num::Int(i64::from(*b))),
             Value::Text(t) => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     Err(EngineError::semantic(format!(
                         "invalid input syntax for numeric operator {op}: \"{t}\""
                     )))
@@ -805,7 +824,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
             Value::Blob(_) => {
-                if self.dialect == Dialect::Postgres {
+                if self.dialect.strict_typing() {
                     Err(EngineError::semantic("operator does not accept bytea operands"))
                 } else {
                     Ok(Num::Int(0))
@@ -881,7 +900,7 @@ pub fn eval_scalar_function(
             Value::Real(r) => Ok(Value::Real(r.abs())),
             Value::Boolean(b) => Ok(Value::Integer(i64::from(b))),
             other => {
-                if dialect == Dialect::Postgres {
+                if dialect.strict_typing() {
                     Err(EngineError::semantic("function abs() does not accept this type"))
                 } else {
                     Ok(Value::Real(other.to_real_lenient().unwrap_or(0.0).abs()))
@@ -1099,7 +1118,7 @@ pub fn eval_aggregate(
                         sum_i = sum_i.saturating_add(i64::from(*b));
                     }
                     other => {
-                        if dialect == Dialect::Postgres {
+                        if dialect.strict_typing() {
                             return Err(EngineError::semantic("function sum(text) does not exist"));
                         }
                         all_int = false;

@@ -1,0 +1,460 @@
+//! Columnar batches and vectorised predicate kernels.
+//!
+//! The row pipeline in `exec::pipeline` moves `Vec<Vec<Value>>` batches
+//! between operators.  For the columnar dialect profile
+//! ([`Dialect::prefers_columnar`](crate::dialect::Dialect::prefers_columnar))
+//! the hot operators instead work on a [`ColumnBatch`]: one `Vec<Value>`
+//! per column under the same shared `Arc<RowSchema>`, so a scan
+//! materialises straight into columns, a filter evaluates its predicate
+//! over column slices into a selection bitmap, and an aggregate folds a
+//! column without ever reconstructing rows.
+//!
+//! **Determinism contract.**  Column-at-a-time evaluation must be
+//! indistinguishable from the row pipeline (which the differential suite
+//! in `tests/pipeline_differential.rs` compares against the reference
+//! evaluator): same rows, same order, same errors.  Two rules enforce
+//! this:
+//!
+//! 1. Kernels are compiled only for the *infallible* predicate subset —
+//!    boolean/NULL literals, stored `BOOLEAN` columns, `IS [NOT] NULL`,
+//!    the six ordering comparisons over columns and literals, and
+//!    `AND`/`OR`/`NOT` over those.  Comparisons delegate to
+//!    [`Evaluator::compare_values_tri`], literally the code the scalar
+//!    path runs, and none of these shapes can raise an error, so
+//!    evaluating a full column vector (no short-circuit) is
+//!    value-equivalent to the row pipeline's short-circuit evaluation.
+//! 2. Anything else — a predicate shape outside the subset, or an
+//!    operand-mutating comparison fault being enabled — refuses to
+//!    compile, and the caller pivots the batch back to rows and runs the
+//!    ordinary row-at-a-time path, preserving error order exactly.
+
+use std::sync::Arc;
+
+use lancer_sql::ast::expr::{BinaryOp, Expr, TypeName};
+use lancer_sql::collation::Collation;
+use lancer_sql::value::{TriBool, Value};
+
+use crate::bugs::BugId;
+use crate::eval::{Evaluator, RowSchema};
+use crate::exec::batch::RowBatch;
+
+/// A batch in columnar layout: `cols[c][r]` is row `r` of column `c`.
+///
+/// `len` is stored explicitly because a zero-width batch (a `SELECT`
+/// without `FROM`) still has a row count.
+pub(crate) struct ColumnBatch {
+    /// The flattened schema shared with the row layout.
+    pub(crate) schema: Arc<RowSchema>,
+    /// Output column labels (empty until projection names them).
+    pub(crate) columns: Vec<String>,
+    /// One value vector per schema column.
+    pub(crate) cols: Vec<Vec<Value>>,
+    /// Number of rows.
+    pub(crate) len: usize,
+}
+
+impl ColumnBatch {
+    /// Pivots a row batch into columnar layout (the inverse of
+    /// [`ColumnBatch::into_rows`]; production scans materialise columns
+    /// directly, so only the round-trip tests pivot this way).
+    #[cfg(test)]
+    pub(crate) fn from_rows(batch: RowBatch) -> ColumnBatch {
+        let len = batch.rows.len();
+        let width = batch.schema.width();
+        let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(len)).collect();
+        for row in batch.rows {
+            for (c, v) in row.into_iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        ColumnBatch { schema: batch.schema, columns: batch.columns, cols, len }
+    }
+
+    /// Pivots back to row layout.
+    pub(crate) fn into_rows(self) -> RowBatch {
+        let mut rows: Vec<Vec<Value>> =
+            (0..self.len).map(|_| Vec::with_capacity(self.cols.len())).collect();
+        for col in self.cols {
+            for (r, v) in col.into_iter().enumerate() {
+                rows[r].push(v);
+            }
+        }
+        RowBatch { schema: self.schema, columns: self.columns, rows }
+    }
+
+    /// Keeps only the rows at the given (ascending) indices, moving the
+    /// surviving values without cloning.
+    pub(crate) fn retain_indices(&mut self, kept: &[usize]) {
+        for col in &mut self.cols {
+            let old = std::mem::take(col);
+            let mut keep = kept.iter().copied().peekable();
+            let mut new_col = Vec::with_capacity(kept.len());
+            for (i, v) in old.into_iter().enumerate() {
+                if keep.peek() == Some(&i) {
+                    keep.next();
+                    new_col.push(v);
+                }
+            }
+            *col = new_col;
+        }
+        self.len = kept.len();
+    }
+}
+
+/// A batch in either layout, threaded through [`Operator::apply`]
+/// (crate::exec::pipeline::Operator).  Operators without a columnar
+/// implementation call [`Batch::into_rows`] at entry; for a `Rows`
+/// batch that is free.
+pub(crate) enum Batch {
+    /// Row-major layout (the three row-store dialects, and fallbacks).
+    Rows(RowBatch),
+    /// Column-major layout (the columnar dialect's hot path).
+    Cols(ColumnBatch),
+}
+
+impl Batch {
+    /// The shared schema, regardless of layout.
+    pub(crate) fn schema(&self) -> &Arc<RowSchema> {
+        match self {
+            Batch::Rows(b) => &b.schema,
+            Batch::Cols(b) => &b.schema,
+        }
+    }
+
+    /// Converts to row layout (the identity for `Rows`).
+    pub(crate) fn into_rows(self) -> RowBatch {
+        match self {
+            Batch::Rows(b) => b,
+            Batch::Cols(b) => b.into_rows(),
+        }
+    }
+}
+
+/// A compiled, infallible filter kernel over column vectors.
+pub(crate) enum FilterKernel {
+    /// A boolean or NULL literal.
+    Const(TriBool),
+    /// A stored `BOOLEAN` column used directly as a predicate.
+    BoolCol(usize),
+    /// `col IS [NOT] NULL`.
+    IsNull {
+        /// Column index.
+        col: usize,
+        /// `IS NOT NULL` when set.
+        negated: bool,
+    },
+    /// `col <op> literal` (or the flipped `literal <op> col`, with the
+    /// operands kept in source order).
+    CmpColLit {
+        /// Ordering operator (`Eq`..`Ge`).
+        op: BinaryOp,
+        /// Column index of the left operand, unless `flipped`.
+        col: usize,
+        /// The literal operand.
+        lit: Value,
+        /// Collation resolved at compile time.
+        coll: Collation,
+        /// Literal on the left, column on the right.
+        flipped: bool,
+    },
+    /// `col <op> col`.
+    CmpCols {
+        /// Ordering operator (`Eq`..`Ge`).
+        op: BinaryOp,
+        /// Left column index.
+        left: usize,
+        /// Right column index.
+        right: usize,
+        /// Collation resolved at compile time.
+        coll: Collation,
+    },
+    /// Three-valued conjunction.
+    And(Box<FilterKernel>, Box<FilterKernel>),
+    /// Three-valued disjunction.
+    Or(Box<FilterKernel>, Box<FilterKernel>),
+    /// Three-valued negation.
+    Not(Box<FilterKernel>),
+}
+
+/// Compiles a predicate into a vectorised kernel, or `None` when any
+/// part of it falls outside the infallible subset (the caller then runs
+/// the row path).
+pub(crate) fn compile_filter_kernel(
+    expr: &Expr,
+    schema: &RowSchema,
+    ev: &Evaluator<'_>,
+) -> Option<FilterKernel> {
+    // Operand-mutating comparison faults rewrite values based on column
+    // affinity before comparing; keep those on the scalar path.  (They
+    // are registered for row-store dialects, so the columnar profile
+    // never actually enables them — this is defence in depth.)
+    if ev.bugs.is_enabled(BugId::SqliteIntRealComparisonTruncates)
+        || ev.bugs.is_enabled(BugId::MysqlTinyIntRangeCompare)
+    {
+        return None;
+    }
+    compile_node(expr, schema, ev)
+}
+
+fn compile_node(expr: &Expr, schema: &RowSchema, ev: &Evaluator<'_>) -> Option<FilterKernel> {
+    match expr {
+        Expr::Literal(Value::Boolean(b)) => Some(FilterKernel::Const((*b).into())),
+        Expr::Literal(Value::Null) => Some(FilterKernel::Const(TriBool::Unknown)),
+        // A stored BOOLEAN column holds only Boolean/NULL under strict
+        // typing, so reading it as a predicate cannot error.
+        Expr::Column(c) => {
+            if !ev.dialect.strict_typing() {
+                return None;
+            }
+            let (i, meta) = schema.resolve(c)?;
+            (meta.type_name == Some(TypeName::Boolean)).then_some(FilterKernel::BoolCol(i))
+        }
+        Expr::IsNull { negated, expr } => {
+            if let Expr::Column(c) = expr.as_ref() {
+                let (i, _) = schema.resolve(c)?;
+                Some(FilterKernel::IsNull { col: i, negated: *negated })
+            } else {
+                None
+            }
+        }
+        Expr::Unary { op: lancer_sql::ast::expr::UnaryOp::Not, expr } => {
+            // The double-negation fault folds NOT(NOT x) on the scalar
+            // path; bail so the fold (or its absence) stays there.
+            if ev.bugs.is_enabled(BugId::MysqlDoubleNegationFolded) {
+                return None;
+            }
+            Some(FilterKernel::Not(Box::new(compile_node(expr, schema, ev)?)))
+        }
+        Expr::Binary { op: BinaryOp::And, left, right } => Some(FilterKernel::And(
+            Box::new(compile_node(left, schema, ev)?),
+            Box::new(compile_node(right, schema, ev)?),
+        )),
+        Expr::Binary { op: BinaryOp::Or, left, right } => Some(FilterKernel::Or(
+            Box::new(compile_node(left, schema, ev)?),
+            Box::new(compile_node(right, schema, ev)?),
+        )),
+        Expr::Binary { op, left, right } if BinaryOp::COMPARISONS.contains(op) => {
+            let coll = ev.comparison_collation(left, right, schema);
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(l), Expr::Column(r)) => {
+                    let (li, _) = schema.resolve(l)?;
+                    let (ri, _) = schema.resolve(r)?;
+                    Some(FilterKernel::CmpCols { op: *op, left: li, right: ri, coll })
+                }
+                (Expr::Column(c), Expr::Literal(v)) => {
+                    let (i, _) = schema.resolve(c)?;
+                    Some(FilterKernel::CmpColLit {
+                        op: *op,
+                        col: i,
+                        lit: v.clone(),
+                        coll,
+                        flipped: false,
+                    })
+                }
+                (Expr::Literal(v), Expr::Column(c)) => {
+                    let (i, _) = schema.resolve(c)?;
+                    Some(FilterKernel::CmpColLit {
+                        op: *op,
+                        col: i,
+                        lit: v.clone(),
+                        coll,
+                        flipped: true,
+                    })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+impl FilterKernel {
+    /// Evaluates the kernel over whole columns, producing one selection
+    /// entry per row.  Comparisons delegate to
+    /// [`Evaluator::compare_values_tri`] — the scalar path's decision
+    /// procedure.  Returns `None` if a value shape outside the
+    /// compile-time guarantees is encountered (the caller falls back to
+    /// the row path), so evaluation itself never errors.
+    pub(crate) fn eval(
+        &self,
+        cols: &[Vec<Value>],
+        len: usize,
+        ev: &Evaluator<'_>,
+    ) -> Option<Vec<TriBool>> {
+        match self {
+            FilterKernel::Const(t) => Some(vec![*t; len]),
+            FilterKernel::BoolCol(i) => cols[*i]
+                .iter()
+                .map(|v| match v {
+                    Value::Null => Some(TriBool::Unknown),
+                    Value::Boolean(b) => Some((*b).into()),
+                    _ => None,
+                })
+                .collect(),
+            FilterKernel::IsNull { col, negated } => {
+                Some(cols[*col].iter().map(|v| TriBool::from(v.is_null() != *negated)).collect())
+            }
+            FilterKernel::CmpColLit { op, col, lit, coll, flipped } => Some(
+                cols[*col]
+                    .iter()
+                    .map(|v| {
+                        if *flipped {
+                            ev.compare_values_tri(*op, lit, v, *coll)
+                        } else {
+                            ev.compare_values_tri(*op, v, lit, *coll)
+                        }
+                    })
+                    .collect(),
+            ),
+            FilterKernel::CmpCols { op, left, right, coll } => Some(
+                cols[*left]
+                    .iter()
+                    .zip(cols[*right].iter())
+                    .map(|(l, r)| ev.compare_values_tri(*op, l, r, *coll))
+                    .collect(),
+            ),
+            FilterKernel::And(l, r) => {
+                let (lv, rv) = (l.eval(cols, len, ev)?, r.eval(cols, len, ev)?);
+                Some(lv.into_iter().zip(rv).map(|(a, b)| a.and(b)).collect())
+            }
+            FilterKernel::Or(l, r) => {
+                let (lv, rv) = (l.eval(cols, len, ev)?, r.eval(cols, len, ev)?);
+                Some(lv.into_iter().zip(rv).map(|(a, b)| a.or(b)).collect())
+            }
+            FilterKernel::Not(inner) => {
+                Some(inner.eval(cols, len, ev)?.into_iter().map(TriBool::not).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::BugProfile;
+    use crate::dialect::Dialect;
+    use crate::eval::SourceSchema;
+    use lancer_storage::schema::ColumnMeta;
+
+    fn schema(cols: &[(&str, Option<TypeName>)]) -> RowSchema {
+        RowSchema::single(SourceSchema {
+            name: "t0".into(),
+            columns: cols
+                .iter()
+                .map(|(n, t)| ColumnMeta {
+                    name: (*n).to_owned(),
+                    type_name: *t,
+                    collation: Collation::Binary,
+                    not_null: false,
+                    primary_key: false,
+                    unique: false,
+                    default: None,
+                    check: None,
+                })
+                .collect(),
+        })
+    }
+
+    fn batch_of(schema: RowSchema, cols: Vec<Vec<Value>>) -> ColumnBatch {
+        let len = cols.first().map_or(0, Vec::len);
+        ColumnBatch { schema: Arc::new(schema), columns: Vec::new(), cols, len }
+    }
+
+    #[test]
+    fn pivots_are_inverse() {
+        let s = schema(&[("c0", Some(TypeName::Integer)), ("c1", Some(TypeName::Text))]);
+        let rows = RowBatch {
+            schema: Arc::new(s),
+            columns: vec![],
+            rows: vec![
+                vec![Value::Integer(1), Value::Text("a".into())],
+                vec![Value::Integer(2), Value::Null],
+            ],
+        };
+        let expected = rows.rows.clone();
+        let cb = ColumnBatch::from_rows(rows);
+        assert_eq!(cb.len, 2);
+        assert_eq!(cb.cols[0], vec![Value::Integer(1), Value::Integer(2)]);
+        assert_eq!(cb.into_rows().rows, expected);
+    }
+
+    #[test]
+    fn zero_width_batch_keeps_its_row_count() {
+        let rows = RowBatch {
+            schema: Arc::new(RowSchema::empty()),
+            columns: vec![],
+            rows: vec![Vec::new()],
+        };
+        let cb = ColumnBatch::from_rows(rows);
+        assert_eq!(cb.len, 1);
+        assert_eq!(cb.into_rows().rows, vec![Vec::<Value>::new()]);
+    }
+
+    #[test]
+    fn retain_indices_moves_surviving_values() {
+        let s = schema(&[("c0", Some(TypeName::Integer))]);
+        let mut cb =
+            batch_of(s, vec![vec![Value::Integer(10), Value::Integer(20), Value::Integer(30)]]);
+        cb.retain_indices(&[0, 2]);
+        assert_eq!(cb.len, 2);
+        assert_eq!(cb.cols[0], vec![Value::Integer(10), Value::Integer(30)]);
+    }
+
+    #[test]
+    fn comparison_kernel_matches_scalar_semantics() {
+        let s = schema(&[("c0", Some(TypeName::Integer))]);
+        let bugs = BugProfile::none();
+        let ev = Evaluator::new(Dialect::Duckdb, &bugs);
+        let expr = Expr::col("c0").eq(Expr::int(2));
+        let k = compile_filter_kernel(&expr, &s, &ev).expect("comparison compiles");
+        let cols = vec![vec![Value::Integer(1), Value::Integer(2), Value::Null]];
+        let map = k.eval(&cols, 3, &ev).expect("infallible");
+        assert_eq!(map, vec![TriBool::False, TriBool::True, TriBool::Unknown]);
+    }
+
+    #[test]
+    fn logic_kernels_follow_three_valued_truth_tables() {
+        let s = schema(&[("c0", Some(TypeName::Boolean)), ("c1", Some(TypeName::Boolean))]);
+        let bugs = BugProfile::none();
+        let ev = Evaluator::new(Dialect::Duckdb, &bugs);
+        let expr = Expr::col("c0").and(Expr::col("c1").not());
+        let k = compile_filter_kernel(&expr, &s, &ev).expect("boolean columns compile");
+        let cols = vec![
+            vec![Value::Boolean(true), Value::Boolean(true), Value::Null],
+            vec![Value::Boolean(false), Value::Null, Value::Boolean(false)],
+        ];
+        let map = k.eval(&cols, 3, &ev).expect("infallible");
+        assert_eq!(map, vec![TriBool::True, TriBool::Unknown, TriBool::Unknown]);
+    }
+
+    #[test]
+    fn exotic_shapes_refuse_to_compile() {
+        let s = schema(&[("c0", Some(TypeName::Integer))]);
+        let bugs = BugProfile::none();
+        let ev = Evaluator::new(Dialect::Duckdb, &bugs);
+        // Arithmetic inside a comparison operand: scalar path only.
+        let expr = Expr::binary(
+            BinaryOp::Eq,
+            Expr::binary(BinaryOp::Add, Expr::col("c0"), Expr::int(1)),
+            Expr::int(2),
+        );
+        assert!(compile_filter_kernel(&expr, &s, &ev).is_none());
+        // A bare non-boolean column is never a kernel.
+        assert!(compile_filter_kernel(&Expr::col("c0"), &s, &ev).is_none());
+        // Operand-mutating comparison faults force the scalar path.
+        let faulty = BugProfile::with(&[BugId::SqliteIntRealComparisonTruncates]);
+        let ev = Evaluator::new(Dialect::Sqlite, &faulty);
+        let cmp = Expr::col("c0").eq(Expr::int(2));
+        assert!(compile_filter_kernel(&cmp, &s, &ev).is_none());
+    }
+
+    #[test]
+    fn non_boolean_value_in_boolean_column_bails_at_eval() {
+        let s = schema(&[("c0", Some(TypeName::Boolean))]);
+        let bugs = BugProfile::none();
+        let ev = Evaluator::new(Dialect::Duckdb, &bugs);
+        let k = compile_filter_kernel(&Expr::col("c0"), &s, &ev).expect("compiles");
+        let cols = vec![vec![Value::Boolean(true), Value::Integer(1)]];
+        assert!(k.eval(&cols, 2, &ev).is_none(), "unexpected storage class must bail, not guess");
+    }
+}

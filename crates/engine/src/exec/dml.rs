@@ -23,7 +23,9 @@ impl Engine {
         match self.dialect() {
             Dialect::Sqlite => Ok(apply_sqlite_affinity(value, affinity)),
             Dialect::Mysql => apply_mysql_type(value, col),
-            Dialect::Postgres => apply_postgres_type(value, col),
+            // Both strictly typed profiles share the no-affinity conversion
+            // rules; DuckDB simply never declares SERIAL or BLOB columns.
+            Dialect::Postgres | Dialect::Duckdb => apply_postgres_type(value, col),
         }
     }
 

@@ -191,16 +191,30 @@ impl Engine {
 
     pub(crate) fn exec_analyze(&mut self, target: Option<&str>) -> EngineResult<QueryResult> {
         self.cover("stmt.analyze");
-        match target {
+        let targets: Vec<String> = match target {
             Some(t) => {
                 self.db.require_table(t)?;
-                self.analyzed.insert(t.to_ascii_lowercase());
+                vec![t.to_owned()]
             }
-            None => {
-                for t in self.db.table_names() {
-                    self.analyzed.insert(t.to_ascii_lowercase());
+            None => self.db.table_names(),
+        };
+        // Injected fault: ANALYZE validates per-row-group checksums and
+        // rejects tables whose row count leaves a partial tail row group
+        // (columnar extension).
+        if self.bugs().is_enabled(BugId::DuckdbAnalyzeRowGroupChecksum) {
+            for t in &targets {
+                let n = self.db.require_table(t)?.rows().count();
+                if n % crate::exec::query::COLUMNAR_LANE_WIDTH != 0 {
+                    return Err(EngineError::corruption(format!(
+                        "row group checksum mismatch in table \"{t}\": \
+                         partial row group of {} rows failed validation",
+                        n % crate::exec::query::COLUMNAR_LANE_WIDTH
+                    )));
                 }
             }
+        }
+        for t in targets {
+            self.analyzed.insert(t.to_ascii_lowercase());
         }
         Ok(QueryResult::empty())
     }

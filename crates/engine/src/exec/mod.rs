@@ -2,6 +2,7 @@
 
 pub(crate) mod access;
 pub mod batch;
+mod colbatch;
 mod ddl;
 mod dml;
 mod maintenance;

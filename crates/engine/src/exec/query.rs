@@ -9,7 +9,7 @@
 //! A plain `SELECT` runs through the operator pipeline; this module owns
 //! everything both evaluators share.
 
-use lancer_sql::ast::expr::{BinaryOp, Expr, TypeName};
+use lancer_sql::ast::expr::{AggFunc, BinaryOp, Expr, TypeName};
 use lancer_sql::ast::stmt::{CompoundOp, Query, Select, TableEngine};
 use lancer_sql::collation::Collation;
 use lancer_sql::value::Value;
@@ -303,12 +303,24 @@ impl Engine {
         let ev = self.evaluator();
         match expr {
             Expr::Aggregate { func, arg, distinct } => {
-                let values: Vec<Value> = match arg {
+                let mut values: Vec<Value> = match arg {
                     None => group.iter().map(|_| Value::Integer(1)).collect(),
                     Some(a) => {
                         group.iter().map(|r| ev.eval(a, schema, r)).collect::<EngineResult<_>>()?
                     }
                 };
+                // Injected fault: the vectorised SUM fold processes whole
+                // lane-width blocks and skips the partial tail block
+                // (columnar extension).  Applied here so the pipeline's
+                // row path and the reference evaluator undercount
+                // identically; the columnar fold applies the same
+                // truncation to its column slice.
+                if *func == AggFunc::Sum
+                    && !*distinct
+                    && self.bugs().is_enabled(BugId::DuckdbSumLaneWideningSkipsTail)
+                {
+                    values.truncate(columnar_sum_tail_len(values.len()));
+                }
                 eval_aggregate(*func, &values, *distinct, self.dialect())
             }
             // Non-aggregate expressions are evaluated against the first row
@@ -348,6 +360,33 @@ impl Engine {
         // Coverage requires &mut self; aggregate-expression coverage is
         // recorded by the callers that own mutable access.
     }
+}
+
+/// Lane width of the simulated columnar executor.  The three columnar
+/// faults all key off a table length that is not a multiple of this, so
+/// a generated table with a "ragged" row count exposes them.
+pub(crate) const COLUMNAR_LANE_WIDTH: usize = 8;
+
+/// Number of values a lane-blocked SUM fold actually consumes when the
+/// tail-skipping fault is enabled: the largest lane multiple ≤ `n`.
+pub(crate) fn columnar_sum_tail_len(n: usize) -> usize {
+    n - n % COLUMNAR_LANE_WIDTH
+}
+
+/// Injected fault support: which kept row the broken selection bitmap
+/// drops (columnar extension).  `kept` holds the input-row indices that
+/// passed the filter, ascending; the bitmap mishandles the partial tail
+/// lane group, losing the **last** kept row whose input index falls in
+/// it.  `None` when the input length is a lane multiple (no partial
+/// group) or no kept row lands in the tail.  Shared by the pipeline's
+/// row and columnar filters and by the reference evaluator so all three
+/// drop the same row.
+pub(crate) fn selection_tail_victim(kept: &[usize], input_len: usize) -> Option<usize> {
+    let tail_start = columnar_sum_tail_len(input_len);
+    if tail_start == input_len {
+        return None;
+    }
+    kept.iter().rposition(|&i| i >= tail_start)
 }
 
 pub(crate) fn contains(rows: &[Vec<Value>], row: &[Value]) -> bool {

@@ -25,7 +25,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::eval::{RowSchema, SourceSchema};
 use crate::exec::query::{
     concat_row, contains, cross_product, expr_references_column, find_is_not_literal_column,
-    rewrite_like_int_affinity, SourceData,
+    rewrite_like_int_affinity, selection_tail_victim, SourceData,
 };
 use crate::exec::{Engine, QueryResult};
 
@@ -332,10 +332,24 @@ impl Engine {
                 where_clause = rewrite_like_int_affinity(&where_clause, &schema);
             }
             let ev = self.evaluator();
+            let tail_fault = self.bugs().is_enabled(BugId::DuckdbSelectionBitmapTailOffByOne);
+            let input_len = rows.len();
             let mut kept = Vec::new();
-            for r in rows {
+            let mut kept_idx: Vec<usize> = Vec::new();
+            for (i, r) in rows.into_iter().enumerate() {
                 if ev.eval_predicate(&where_clause, &schema, &r)?.is_true() {
+                    if tail_fault {
+                        kept_idx.push(i);
+                    }
                     kept.push(r);
+                }
+            }
+            // Injected fault: the selection bitmap mishandles the partial
+            // tail lane group (columnar extension) — identical to the
+            // pipeline's filter, row and columnar layouts alike.
+            if tail_fault {
+                if let Some(victim) = selection_tail_victim(&kept_idx, input_len) {
+                    kept.remove(victim);
                 }
             }
             rows = kept;

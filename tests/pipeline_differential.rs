@@ -119,7 +119,7 @@ proptest! {
 
     /// Fault-free engines: the pipeline is the dialect semantics.
     #[test]
-    fn pipeline_matches_reference_without_faults(seed in any::<u64>(), dialect_idx in 0usize..3) {
+    fn pipeline_matches_reference_without_faults(seed in any::<u64>(), dialect_idx in 0usize..4) {
         let dialect = Dialect::ALL[dialect_idx];
         check_differential(seed, dialect, BugProfile::none())?;
     }
@@ -127,9 +127,24 @@ proptest! {
     /// Full fault profiles: every injected fault must fire at exactly the
     /// same rows through the pipeline as through the reference evaluator.
     #[test]
-    fn pipeline_matches_reference_with_all_faults(seed in any::<u64>(), dialect_idx in 0usize..3) {
+    fn pipeline_matches_reference_with_all_faults(seed in any::<u64>(), dialect_idx in 0usize..4) {
         let dialect = Dialect::ALL[dialect_idx];
         check_differential(seed, dialect, BugProfile::all_for(dialect))?;
+    }
+
+    /// The columnar dialect, pinned: every query here runs the columnar
+    /// scan, the vectorised filter kernels and the column-at-a-time
+    /// aggregate fold (or their row fallbacks) against the row-only
+    /// reference evaluator — rows, order, labels and errors must all
+    /// match, with the columnar faults enabled as well as without.
+    #[test]
+    fn columnar_pipeline_matches_row_reference(seed in any::<u64>(), faulty in any::<bool>()) {
+        let profile = if faulty {
+            BugProfile::all_for(Dialect::Duckdb)
+        } else {
+            BugProfile::none()
+        };
+        check_differential(seed, Dialect::Duckdb, profile)?;
     }
 }
 
@@ -163,6 +178,20 @@ fn listing_shapes_agree_between_evaluators() {
              INSERT INTO t0(c0) VALUES (0);
              INSERT INTO t1(c0) VALUES (-1);",
             "SELECT * FROM t0, t1 WHERE (CAST(t1.c0 AS UNSIGNED)) > (IFNULL('u', t0.c0))",
+        ),
+        (
+            Dialect::Duckdb,
+            &[BugId::DuckdbSelectionBitmapTailOffByOne],
+            "CREATE TABLE t0(c0 INTEGER);
+             INSERT INTO t0(c0) VALUES (1), (2), (3), (4), (5), (6), (7), (8), (9);",
+            "SELECT c0 FROM t0 WHERE c0 >= 1",
+        ),
+        (
+            Dialect::Duckdb,
+            &[BugId::DuckdbSumLaneWideningSkipsTail],
+            "CREATE TABLE t0(c0 INTEGER);
+             INSERT INTO t0(c0) VALUES (1), (2), (3), (4), (5), (6), (7), (8), (9), (10);",
+            "SELECT SUM(c0) FROM t0",
         ),
         (
             Dialect::Postgres,
