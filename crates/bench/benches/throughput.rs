@@ -3,7 +3,9 @@
 //! evaluating the queries, not the tester.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lancer_core::{ContainmentOracle, GenConfig, NorecOracle, StateGenerator};
+use lancer_core::{
+    ContainmentOracle, GenConfig, NorecOracle, SerializabilityOracle, StateGenerator,
+};
 use lancer_engine::{BugProfile, Dialect, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,6 +67,29 @@ fn bench_norec_checks(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_txn_checks(c: &mut Criterion) {
+    // Per-episode cost of the serializability oracle: decompose a
+    // multi-session log into committed units, then replay the committed
+    // permutations against fresh engines and compare state digests.  The
+    // log (database + one interleaved transaction episode) is prepared
+    // once per dialect so the measurement isolates the check itself.
+    let mut group = c.benchmark_group("txn_check");
+    for dialect in Dialect::ALL {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = Engine::with_bugs(dialect, BugProfile::all_for(dialect));
+        let mut generator = StateGenerator::new(dialect, GenConfig::tiny());
+        let (mut log, _) = generator.generate_database(&mut rng, &mut engine);
+        let (episode, _) = generator.generate_txn_episode(&mut rng, &mut engine);
+        log.extend(episode);
+        let oracle = SerializabilityOracle::new(dialect, GenConfig::tiny());
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(dialect.name()), &dialect, |b, _| {
+            b.iter(|| std::hint::black_box(oracle.check_log(&engine, &log)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_statement_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("statements_per_second");
     for dialect in Dialect::ALL {
@@ -88,6 +113,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_state_generation, bench_containment_checks, bench_norec_checks,
-        bench_statement_execution
+        bench_txn_checks, bench_statement_execution
 }
 criterion_main!(benches);

@@ -37,6 +37,12 @@ pub struct ReportOptions {
     /// the derived-substream contract guarantees that turning it on only
     /// ever *adds* a column (see `table3_oracles`).
     pub norec: bool,
+    /// Whether multi-session transaction episodes are generated and the
+    /// serializability oracle is registered (`--txn`).  Off by default:
+    /// episodes draw from the primary worker stream, so enabling them
+    /// changes the generated workload — unlike `--norec` this is *not* a
+    /// pure column addition, which is why it gets its own flag.
+    pub txn: bool,
 }
 
 impl Default for ReportOptions {
@@ -47,14 +53,15 @@ impl Default for ReportOptions {
             queries_per_database: 80,
             threads: 2,
             norec: false,
+            txn: false,
         }
     }
 }
 
 impl ReportOptions {
     /// Parses `--seed`, `--databases`, `--queries`, `--threads` and the
-    /// bare `--norec` flag from the process arguments, falling back to
-    /// defaults.
+    /// bare `--norec` / `--txn` flags from the process arguments, falling
+    /// back to defaults.
     #[must_use]
     pub fn from_args() -> ReportOptions {
         let mut opts = ReportOptions::default();
@@ -63,6 +70,11 @@ impl ReportOptions {
         while i < args.len() {
             if args[i] == "--norec" {
                 opts.norec = true;
+                i += 1;
+                continue;
+            }
+            if args[i] == "--txn" {
+                opts.txn = true;
                 i += 1;
                 continue;
             }
@@ -86,14 +98,15 @@ impl ReportOptions {
 
     /// Starts a campaign builder for one dialect with these options
     /// applied.  The historical oracle trio always runs (error +
-    /// containment + TLP) and `--norec` adds the NoREC oracle; the
-    /// derived-stream design guarantees that neither logic oracle perturbs
-    /// what the classic pair finds — nor each other.  Report binaries that
-    /// need extra knobs (e.g. `table_qpg`'s `plan_guidance`) chain them on
-    /// the result.
+    /// containment + TLP), `--norec` adds the NoREC oracle, and `--txn`
+    /// adds the serializability oracle together with the multi-session
+    /// transaction episodes it checks; the derived-stream design
+    /// guarantees that no logic oracle perturbs what the classic pair
+    /// finds — nor each other.  Report binaries that need extra knobs
+    /// (e.g. `table_qpg`'s `plan_guidance`) chain them on the result.
     #[must_use]
     pub fn campaign_builder(&self, dialect: Dialect) -> lancer_core::CampaignBuilder {
-        let builder = Campaign::builder(dialect)
+        let mut builder = Campaign::builder(dialect)
             .seed(self.seed)
             .databases(self.databases)
             .queries(self.queries_per_database)
@@ -102,10 +115,12 @@ impl ReportOptions {
             .oracle("containment")
             .oracle("tlp");
         if self.norec {
-            builder.oracle("norec")
-        } else {
-            builder
+            builder = builder.oracle("norec");
         }
+        if self.txn {
+            builder = builder.oracle("serializability").multi_session(true);
+        }
+        builder
     }
 
     /// Builds the campaign for one dialect (see
@@ -221,5 +236,8 @@ mod tests {
         let with_norec = ReportOptions { norec: true, ..ReportOptions::default() };
         let c = with_norec.campaign(Dialect::Mysql);
         assert_eq!(c.oracle_names(), vec!["error", "containment", "tlp", "norec"]);
+        let with_txn = ReportOptions { txn: true, ..ReportOptions::default() };
+        let c = with_txn.campaign(Dialect::Mysql);
+        assert_eq!(c.oracle_names(), vec!["error", "containment", "tlp", "serializability"]);
     }
 }

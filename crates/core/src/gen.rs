@@ -626,6 +626,139 @@ impl StateGenerator {
         }
         (log, failures)
     }
+
+    /// Appends a deterministic multi-session transaction episode to an
+    /// already generated database: a fault-surface prefix (an extra index;
+    /// a SERIAL table on PostgreSQL), then 2–3 logical sessions that each
+    /// open a transaction, apply a handful of DML statements and COMMIT or
+    /// ROLLBACK.  The interleaving is drawn from the caller's RNG stream,
+    /// and `SESSION <id>` markers record it in the log, so the returned
+    /// statements replay to the identical state on a fresh engine — the
+    /// same determinism contract as [`generate_database`].
+    ///
+    /// The first session always commits and the second always rolls back,
+    /// so every episode exercises both the publish and the restore path;
+    /// a third session draws its terminator from the RNG.
+    ///
+    /// [`generate_database`]: StateGenerator::generate_database
+    pub fn generate_txn_episode<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        engine: &mut Engine,
+    ) -> (Vec<Statement>, Vec<(Statement, lancer_engine::EngineError)>) {
+        let mut log = Vec::new();
+        let mut failures = Vec::new();
+        let exec =
+            |stmt: Statement,
+             engine: &mut Engine,
+             log: &mut Vec<Statement>,
+             failures: &mut Vec<(Statement, lancer_engine::EngineError)>| {
+                match engine.execute(&stmt) {
+                    Ok(_) => log.push(stmt),
+                    Err(e) => failures.push((stmt, e)),
+                }
+            };
+        // Fault-surface prefix: an index makes torn rollbacks observable,
+        // a SERIAL table makes sequence-vs-rollback divergence observable.
+        let tables = engine.database().table_names();
+        if let Some(table) = tables.choose(rng).cloned() {
+            if rng.gen_bool(0.8) {
+                if let Some(stmt) = self.random_create_index(rng, engine, &table) {
+                    exec(stmt, engine, &mut log, &mut failures);
+                }
+            }
+        }
+        let serial_table = (self.dialect == Dialect::Postgres).then(|| {
+            let name = format!("t{}", self.table_counter);
+            self.table_counter += 1;
+            let stmt = Statement::CreateTable(CreateTable::new(
+                name.clone(),
+                vec![
+                    ColumnDef::new("c0", Some(TypeName::Serial)),
+                    ColumnDef::new("c1", Some(TypeName::Integer)),
+                ],
+            ));
+            exec(stmt, engine, &mut log, &mut failures);
+            name
+        });
+        struct Plan {
+            id: u32,
+            dml_left: usize,
+            begun: bool,
+            commit: bool,
+        }
+        let n_sessions = rng.gen_range(2..=3);
+        let mut live: Vec<Plan> = (0..n_sessions)
+            .map(|i| Plan {
+                id: i + 1,
+                dml_left: rng.gen_range(1..=4),
+                begun: false,
+                commit: match i {
+                    0 => true,
+                    1 => false,
+                    _ => rng.gen_bool(0.5),
+                },
+            })
+            .collect();
+        let mut current = None;
+        while !live.is_empty() {
+            let slot = rng.gen_range(0..live.len());
+            let id = live[slot].id;
+            if current != Some(id) {
+                exec(Statement::Session { id }, engine, &mut log, &mut failures);
+                current = Some(id);
+            }
+            let stmt = if !live[slot].begun {
+                live[slot].begun = true;
+                Statement::Begin
+            } else if live[slot].dml_left > 0 {
+                live[slot].dml_left -= 1;
+                match self.random_session_dml(rng, engine, serial_table.as_deref()) {
+                    Some(stmt) => stmt,
+                    None => continue,
+                }
+            } else {
+                let terminator =
+                    if live[slot].commit { Statement::Commit } else { Statement::Rollback };
+                live.remove(slot);
+                terminator
+            };
+            exec(stmt, engine, &mut log, &mut failures);
+        }
+        // Return the log to the default session for whatever runs next.
+        exec(Statement::Session { id: 0 }, engine, &mut log, &mut failures);
+        (log, failures)
+    }
+
+    /// A DML statement for inside a transaction: usually an INSERT (a
+    /// reliably visible effect), sometimes an UPDATE/DELETE, and — when a
+    /// SERIAL table exists — an insert that omits the SERIAL column so the
+    /// sequence advances.  No DDL: the schema stays stable across the
+    /// episode, which keeps commit replays conflict-free by construction.
+    fn random_session_dml<R: Rng>(
+        &self,
+        rng: &mut R,
+        engine: &Engine,
+        serial_table: Option<&str>,
+    ) -> Option<Statement> {
+        if let Some(ts) = serial_table {
+            if rng.gen_bool(0.5) {
+                return Some(Statement::Insert(Insert {
+                    table: ts.to_owned(),
+                    columns: vec!["c1".to_owned()],
+                    rows: vec![vec![Expr::Literal(Value::Integer(rng.gen_range(0..100)))]],
+                    on_conflict: OnConflict::Abort,
+                }));
+            }
+        }
+        let tables = engine.database().table_names();
+        let table = tables.choose(rng)?.clone();
+        if rng.gen_bool(0.6) {
+            self.random_insert(rng, engine, &table)
+        } else {
+            self.random_dml(rng, engine, &table)
+        }
+    }
 }
 
 /// Removes table qualifiers from column references (used when an expression

@@ -14,10 +14,13 @@
 //! [`oracle::Oracle`] trait and registers in an [`oracle::OracleRegistry`].
 //! Besides containment, an [`oracle::ErrorOracle`] flags unexpected DBMS
 //! errors such as database corruption (§3.3), an [`oracle::TlpOracle`]
-//! applies ternary logic partitioning, and an [`oracle::NorecOracle`]
+//! applies ternary logic partitioning, an [`oracle::NorecOracle`]
 //! compares optimizable queries against their non-optimizing
 //! `SUM(CASE WHEN ...)` rewrites — two metamorphic oracles from the
-//! SQLancer lineage that need no ground truth.  The [`runner`] module
+//! SQLancer lineage that need no ground truth — and an
+//! [`oracle::SerializabilityOracle`] checks multi-session transaction
+//! episodes against every serial order of their committed sessions
+//! (enabled alongside [`CampaignBuilder::multi_session`]).  The [`runner`] module
 //! orchestrates whole testing campaigns (random state generation,
 //! detection, reduction, attribution) over any set of registered oracles,
 //! [`qpg`] adds query-plan-guided state mutation (opt-in via
@@ -54,15 +57,14 @@ pub use interp::{Interpreter, PivotColumn, PivotRow};
 #[allow(deprecated)]
 pub use oracle::OracleOutcome;
 pub use oracle::{
-    norec_rewrite, norec_sum, plan_uses_index, quick_scan, rectify, BugWitness, Cadence,
-    ContainmentOracle, DetectionKind, ErrorOracle, NorecOracle, Oracle, OracleCtx, OracleFactory,
-    OracleRegistry, OracleReport, ReproSpec, RngStream, TlpOracle,
+    committed_units, norec_rewrite, norec_sum, plan_uses_index, quick_scan, rectify,
+    serial_orders_match, state_digest, BugWitness, Cadence, ContainmentOracle, DetectionKind,
+    Episode, ErrorOracle, NorecOracle, Oracle, OracleCtx, OracleFactory, OracleRegistry,
+    OracleReport, ReproSpec, RngStream, SerializabilityOracle, StateDigest, TlpOracle,
 };
 pub use qpg::{PlanCoverage, PlanGuide, QpgConfig};
-pub use reduce::{reduce_indices, reduce_statements};
+pub use reduce::{reduce_indices, reduce_statements, transactions_well_formed};
 pub use replay::{ReplayCache, ReplayCacheStats, ReplaySession};
 pub use runner::{
     reproduces, Campaign, CampaignBuilder, CampaignReport, CampaignStats, Detection, FoundBug,
 };
-#[allow(deprecated)]
-pub use runner::{run_campaign, CampaignConfig};

@@ -37,6 +37,9 @@ impl ErrorOracle {
             | StatementKind::CreateStats => {
                 matches!(error.class, ErrorClass::Constraint | ErrorClass::Semantic)
             }
+            // Transaction misuse (stray COMMIT/ROLLBACK, nested BEGIN) is a
+            // legitimate semantic error every dialect reports.
+            StatementKind::Transaction => matches!(error.class, ErrorClass::Semantic),
             // Queries validated by the interpreter, maintenance statements
             // and options are not expected to fail at all; constraint
             // failures out of REINDEX & friends are exactly the bugs the
@@ -49,7 +52,7 @@ impl ErrorOracle {
             | StatementKind::RepairCheckTable
             | StatementKind::Option
             | StatementKind::Discard
-            | StatementKind::Transaction => false,
+            | StatementKind::Session => false,
         }
     }
 

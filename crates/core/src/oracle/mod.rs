@@ -13,16 +13,19 @@
 //! * [`rectify`] — Algorithm 3, shared by oracles that need a
 //!   guaranteed-`TRUE` predicate.
 //!
-//! Four oracles ship in-tree: [`ContainmentOracle`] (§3.2),
+//! Five oracles ship in-tree: [`ContainmentOracle`] (§3.2),
 //! [`ErrorOracle`] (§3.3), [`TlpOracle`] (ternary logic partitioning) and
-//! [`NorecOracle`] (non-optimizing reference engine construction), the
-//! latter two after Rigger & Su's follow-up work.  Adding a fifth is a
-//! matter of implementing [`Oracle`] and registering it — see the README's
-//! architecture section for two worked examples.
+//! [`NorecOracle`] (non-optimizing reference engine construction) — the
+//! latter two after Rigger & Su's follow-up work — plus the
+//! [`SerializabilityOracle`], which checks multi-session transaction
+//! episodes against every serial order of their committed sessions.
+//! Adding a sixth is a matter of implementing [`Oracle`] and registering
+//! it — see the README's architecture section for two worked examples.
 
 pub mod containment;
 pub mod error;
 pub mod norec;
+pub mod serializability;
 pub mod tlp;
 
 use lancer_engine::{Dialect, Engine, EngineError};
@@ -38,6 +41,9 @@ use crate::gen::{GenConfig, StateGenerator};
 pub use containment::ContainmentOracle;
 pub use error::ErrorOracle;
 pub use norec::{norec_rewrite, norec_sum, plan_uses_index, random_norec_select, NorecOracle};
+pub use serializability::{
+    committed_units, serial_orders_match, state_digest, Episode, SerializabilityOracle, StateDigest,
+};
 pub use tlp::{partition_union, row_multiset, TlpOracle};
 
 /// Rectifies a randomly generated expression so that it evaluates to `TRUE`
@@ -69,6 +75,10 @@ pub enum DetectionKind {
     /// different number of rows than its non-optimizing
     /// `SUM(CASE WHEN p THEN 1 ELSE 0 END)` rewrite counted.
     Norec,
+    /// A serializability violation: the final state of a multi-session
+    /// transaction episode matches no serial order of its committed
+    /// sessions (which subsumes rolled-back writes staying visible).
+    Serializability,
 }
 
 impl DetectionKind {
@@ -81,6 +91,7 @@ impl DetectionKind {
             DetectionKind::Crash => "SEGFAULT",
             DetectionKind::Tlp => "TLP",
             DetectionKind::Norec => "NoREC",
+            DetectionKind::Serializability => "Serial",
         }
     }
 
@@ -95,6 +106,7 @@ impl DetectionKind {
             DetectionKind::Containment | DetectionKind::Error | DetectionKind::Crash => "pqs",
             DetectionKind::Tlp => "tlp",
             DetectionKind::Norec => "norec",
+            DetectionKind::Serializability => "serial",
         }
     }
 }
@@ -127,6 +139,12 @@ pub enum ReproSpec {
         /// (boxed: a `Statement` would dominate the enum's size).
         rewritten: Box<Statement>,
     },
+    /// The whole reproduction script (not just the trigger) is a
+    /// multi-session transaction episode whose final table state must
+    /// match *no* serial order of its committed sessions for the bug to
+    /// reproduce.  The committed sessions are re-derived from the script
+    /// itself, so the spec survives reduction.
+    SerialDivergence,
 }
 
 impl ReproSpec {
@@ -139,6 +157,7 @@ impl ReproSpec {
             ReproSpec::Crash => DetectionKind::Crash,
             ReproSpec::PartitionMismatch { .. } => DetectionKind::Tlp,
             ReproSpec::PairMismatch { .. } => DetectionKind::Norec,
+            ReproSpec::SerialDivergence => DetectionKind::Serializability,
         }
     }
 }
@@ -291,9 +310,10 @@ pub type OracleFactory = fn(Dialect, &GenConfig) -> Box<dyn Oracle>;
 
 /// A name → constructor registry of oracles.
 ///
-/// [`OracleRegistry::builtin`] registers the four in-tree oracles in
-/// canonical order (`error`, `containment`, `tlp`, `norec` — the error
-/// oracle runs first per database, mirroring the original runner).
+/// [`OracleRegistry::builtin`] registers the five in-tree oracles in
+/// canonical order (`error`, `containment`, `tlp`, `norec`,
+/// `serializability` — the error oracle runs first per database,
+/// mirroring the original runner).
 /// Downstream code can
 /// [`register`](OracleRegistry::register) additional oracles and hand the
 /// registry to a [`CampaignBuilder`](crate::runner::CampaignBuilder).
@@ -319,6 +339,9 @@ impl OracleRegistry {
         });
         r.register("tlp", |dialect, gen| Box::new(TlpOracle::new(dialect, gen.clone())));
         r.register("norec", |dialect, gen| Box::new(NorecOracle::new(dialect, gen.clone())));
+        r.register("serializability", |dialect, gen| {
+            Box::new(SerializabilityOracle::new(dialect, gen.clone()))
+        });
         r
     }
 
@@ -399,6 +422,7 @@ mod tests {
         assert_eq!(ReproSpec::PartitionMismatch { partitions: vec![] }.kind(), DetectionKind::Tlp);
         let rewritten = Box::new(parse_statement("SELECT 1").unwrap());
         assert_eq!(ReproSpec::PairMismatch { rewritten }.kind(), DetectionKind::Norec);
+        assert_eq!(ReproSpec::SerialDivergence.kind(), DetectionKind::Serializability);
     }
 
     #[test]
@@ -408,11 +432,13 @@ mod tests {
         assert_eq!(DetectionKind::Crash.label(), "SEGFAULT");
         assert_eq!(DetectionKind::Tlp.label(), "TLP");
         assert_eq!(DetectionKind::Norec.label(), "NoREC");
+        assert_eq!(DetectionKind::Serializability.label(), "Serial");
         assert_eq!(DetectionKind::Containment.dedup_domain(), "pqs");
         assert_eq!(DetectionKind::Error.dedup_domain(), "pqs");
         assert_eq!(DetectionKind::Crash.dedup_domain(), "pqs");
         assert_eq!(DetectionKind::Tlp.dedup_domain(), "tlp");
         assert_eq!(DetectionKind::Norec.dedup_domain(), "norec");
+        assert_eq!(DetectionKind::Serializability.dedup_domain(), "serial");
     }
 
     #[test]
@@ -432,7 +458,10 @@ mod tests {
     #[test]
     fn registry_builds_builtins_in_canonical_order() {
         let registry = OracleRegistry::builtin();
-        assert_eq!(registry.names(), vec!["error", "containment", "tlp", "norec"]);
+        assert_eq!(
+            registry.names(),
+            vec!["error", "containment", "tlp", "norec", "serializability"]
+        );
         let gen = GenConfig::tiny();
         for name in registry.names() {
             let oracle = registry.build(name, Dialect::Sqlite, &gen).expect("builtin");

@@ -5,7 +5,36 @@
 //! The reducer is a greedy delta-debugging loop: repeatedly try to drop
 //! chunks (then single statements) while the failure predicate still holds.
 
+use std::collections::BTreeSet;
+
 use lancer_sql::ast::Statement;
+
+/// Returns `true` when every transaction bracket in the statement
+/// sequence is intact: no `COMMIT`/`ROLLBACK` without a matching `BEGIN`
+/// in the same session, no nested `BEGIN`, and no transaction left open
+/// at the end.  Sequences without transaction control are trivially
+/// well-formed.
+///
+/// The campaign runner guards every reduction candidate with this check,
+/// so delta debugging can never orphan one half of a
+/// `BEGIN`/`COMMIT`/`ROLLBACK` pair: a reduced multi-session repro script
+/// either keeps a transaction whole or drops it whole.
+pub fn transactions_well_formed<'a, I>(stmts: I) -> bool
+where
+    I: IntoIterator<Item = &'a Statement>,
+{
+    let mut open: BTreeSet<u32> = BTreeSet::new();
+    let mut current = 0u32;
+    for stmt in stmts {
+        match stmt {
+            Statement::Session { id } => current = *id,
+            Statement::Begin if !open.insert(current) => return false,
+            Statement::Commit | Statement::Rollback if !open.remove(&current) => return false,
+            _ => {}
+        }
+    }
+    open.is_empty()
+}
 
 /// Reduces a failing statement sequence while `still_fails` holds.
 ///
@@ -111,6 +140,61 @@ mod tests {
         let stmts = parse_script("SELECT 1; SELECT 2; SELECT 3;").unwrap();
         let reduced = reduce_statements(&stmts, &|_| true);
         assert_eq!(reduced.len(), 1);
+    }
+
+    #[test]
+    fn well_formedness_rejects_orphaned_brackets() {
+        let ok = parse_script(
+            "CREATE TABLE t0(c0);
+             SESSION 1; BEGIN; INSERT INTO t0(c0) VALUES (1); COMMIT;
+             SESSION 2; BEGIN; INSERT INTO t0(c0) VALUES (2); ROLLBACK;
+             SESSION 0; SELECT * FROM t0;",
+        )
+        .unwrap();
+        assert!(transactions_well_formed(&ok));
+        assert!(transactions_well_formed(&parse_script("SELECT 1; SELECT 2;").unwrap()));
+        for broken in [
+            "BEGIN; SELECT 1",                             // left open
+            "COMMIT",                                      // stray terminator
+            "SESSION 1; BEGIN; SESSION 2; ROLLBACK",       // terminator in the wrong session
+            "BEGIN; BEGIN; COMMIT",                        // nested
+            "SESSION 1; BEGIN; COMMIT; SESSION 1; COMMIT", // double terminator
+        ] {
+            assert!(
+                !transactions_well_formed(&parse_script(broken).unwrap()),
+                "accepted: {broken}"
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_reduction_never_orphans_transaction_pairs() {
+        // Reducing with the well-formedness guard (the runner's setup)
+        // must keep every surviving BEGIN with its terminator — here the
+        // "bug" only needs the INSERT, so the whole bracket around it has
+        // to survive as a unit while the other session's bracket drops as
+        // a unit.
+        let stmts = parse_script(
+            "CREATE TABLE t0(c0);
+             SESSION 1; BEGIN; INSERT INTO t0(c0) VALUES (1);
+             SESSION 2; BEGIN; INSERT INTO t0(c0) VALUES (2); COMMIT;
+             SESSION 1; COMMIT;
+             SELECT * FROM t0;",
+        )
+        .unwrap();
+        let keep = reduce_indices(stmts.len(), &mut |keep| {
+            let candidate: Vec<&Statement> = keep.iter().map(|&i| &stmts[i]).collect();
+            transactions_well_formed(candidate.iter().copied())
+                && candidate.iter().any(|s| s.to_string().contains("VALUES (1)"))
+        });
+        let reduced: Vec<&Statement> = keep.iter().map(|&i| &stmts[i]).collect();
+        assert!(transactions_well_formed(reduced.iter().copied()));
+        assert!(reduced.iter().any(|s| s.to_string().contains("VALUES (1)")));
+        let rendered: Vec<String> = reduced.iter().map(ToString::to_string).collect();
+        assert!(
+            !rendered.iter().any(|s| s.contains("VALUES (2)")),
+            "the other session's DML is unnecessary: {rendered:?}"
+        );
     }
 
     #[test]

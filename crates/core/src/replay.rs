@@ -32,7 +32,10 @@ use std::fmt::{self, Write as _};
 use lancer_engine::{BugProfile, Dialect, Engine};
 use lancer_sql::ast::stmt::Statement;
 
-use crate::oracle::{norec_sum, partition_union, row_multiset, ErrorOracle, ReproSpec};
+use crate::oracle::{
+    committed_units, norec_sum, partition_union, row_multiset, serial_orders_match, state_digest,
+    ErrorOracle, ReproSpec,
+};
 
 /// Memoized engine snapshots keyed by fault profile and statement-log
 /// prefix, shared across every replay of a campaign's post-processing.
@@ -165,7 +168,7 @@ impl ReplayCache {
         }
         let setup = &stmts[..stmts.len() - 1];
         let mut engine = self.engine_after(profile, setup, &hashes[..setup.len()]);
-        let verdict = confirms(&mut engine, stmts[stmts.len() - 1], repro);
+        let verdict = confirms(&mut engine, setup, stmts[stmts.len() - 1], repro);
         if self.verdicts.len() < self.max_snapshots * 16 {
             self.verdicts.insert(verdict_key, verdict);
         }
@@ -289,8 +292,30 @@ impl<'a> ReplaySession<'a> {
 /// Checks the trigger statement against the repro spec on an engine that
 /// has already replayed the setup — the oracle-specific half of
 /// [`crate::runner::reproduces`], shared by the cached and uncached
-/// paths so the two can never diverge.
-pub(crate) fn confirms(engine: &mut Engine, last: &Statement, repro: &ReproSpec) -> bool {
+/// paths so the two can never diverge.  `setup` is the already-replayed
+/// statement list: most specs never look at it, but a
+/// [`ReproSpec::SerialDivergence`] is a property of the *whole* script —
+/// its committed transactions are re-derived from `setup` + `last`, so
+/// the spec survives reduction unchanged.
+pub(crate) fn confirms(
+    engine: &mut Engine,
+    setup: &[&Statement],
+    last: &Statement,
+    repro: &ReproSpec,
+) -> bool {
+    if matches!(repro, ReproSpec::SerialDivergence) {
+        // The trigger is an ordinary (read-only) probe; what matters is
+        // the final shared state versus every serial order of the
+        // committed transactions in the candidate script.
+        let _ = engine.execute(last);
+        let Some(episode) = committed_units(setup.iter().copied().chain(std::iter::once(last)))
+        else {
+            return false;
+        };
+        let (matched, _) =
+            serial_orders_match(engine.dialect(), engine.bugs(), &episode, &state_digest(engine));
+        return !matched;
+    }
     match engine.execute(last) {
         Ok(result) => match repro {
             // A containment failure only counts when the triggering
@@ -332,6 +357,8 @@ pub(crate) fn confirms(engine: &mut Engine, last: &Statement, repro: &ReproSpec)
             ReproSpec::MissingRow(_)
             | ReproSpec::PartitionMismatch { .. }
             | ReproSpec::PairMismatch { .. } => false,
+            // Handled before the trigger executes.
+            ReproSpec::SerialDivergence => unreachable!("serial divergence returns early"),
         },
     }
 }
@@ -368,6 +395,9 @@ fn repro_hash(repro: &ReproSpec) -> u64 {
         }
         ReproSpec::PairMismatch { rewritten } => {
             let _ = write!(w, "pair-mismatch\u{1f}{rewritten}");
+        }
+        ReproSpec::SerialDivergence => {
+            let _ = w.write_str("serial-divergence");
         }
     }
     w.0

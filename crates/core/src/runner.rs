@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 use crate::gen::{GenConfig, StateGenerator};
 use crate::oracle::{Cadence, Oracle, OracleCtx, OracleRegistry, ReproSpec, RngStream};
 use crate::qpg::{PlanCoverage, PlanGuide, QpgConfig};
-use crate::reduce::reduce_indices;
+use crate::reduce::{reduce_indices, transactions_well_formed};
 use crate::replay::{ReplayCache, ReplaySession};
 
 pub use crate::oracle::DetectionKind;
@@ -83,6 +83,7 @@ impl Serialize for Detection {
             ReproSpec::PairMismatch { rewritten } => {
                 J::Object(vec![("pair_mismatch".to_owned(), J::String(rewritten.to_string()))])
             }
+            ReproSpec::SerialDivergence => J::String("serial_divergence".to_owned()),
         };
         J::Object(vec![
             ("oracle".to_owned(), J::String(self.oracle.to_owned())),
@@ -124,57 +125,6 @@ impl FoundBug {
     }
 }
 
-/// Campaign configuration (the pre-builder API).
-#[deprecated(since = "0.1.0", note = "use `Campaign::builder(dialect)` instead")]
-#[derive(Debug, Clone)]
-pub struct CampaignConfig {
-    /// The dialect (DBMS) under test.
-    pub dialect: Dialect,
-    /// Number of random databases to generate.
-    pub databases: usize,
-    /// Number of containment checks per database.
-    pub queries_per_database: usize,
-    /// RNG seed.
-    pub seed: u64,
-    /// Generator tuning.
-    pub gen: GenConfig,
-    /// Worker threads (each owns its databases, as in §3.4).
-    pub threads: usize,
-    /// The fault profile; defaults to every fault registered for the dialect.
-    pub bugs: Option<BugProfile>,
-}
-
-#[allow(deprecated)]
-impl CampaignConfig {
-    /// A campaign with sensible defaults for the dialect.
-    #[must_use]
-    pub fn new(dialect: Dialect) -> CampaignConfig {
-        CampaignConfig {
-            dialect,
-            databases: 30,
-            queries_per_database: 60,
-            seed: 0x5EED,
-            gen: GenConfig::default(),
-            threads: 1,
-            bugs: None,
-        }
-    }
-
-    /// A small, fast campaign for unit/integration tests.
-    #[must_use]
-    pub fn quick(dialect: Dialect) -> CampaignConfig {
-        CampaignConfig {
-            dialect,
-            databases: 8,
-            queries_per_database: 30,
-            seed: 0x5EED,
-            gen: GenConfig::tiny(),
-            threads: 1,
-            bugs: None,
-        }
-    }
-}
-
 /// How an oracle was requested on the builder.
 enum OracleSpec {
     Named(String),
@@ -183,10 +133,9 @@ enum OracleSpec {
 
 /// Fluent builder for [`Campaign`]s.
 ///
-/// Defaults match the original `CampaignConfig::new`: 30 databases, 60
-/// queries per database, seed `0x5EED`, one thread, the full fault profile
-/// of the dialect, and — when no oracle is requested explicitly — the
-/// classic PQS pair (`error` + `containment`).
+/// Defaults: 30 databases, 60 queries per database, seed `0x5EED`, one
+/// thread, the full fault profile of the dialect, and — when no oracle is
+/// requested explicitly — the classic PQS pair (`error` + `containment`).
 pub struct CampaignBuilder {
     dialect: Dialect,
     databases: usize,
@@ -200,6 +149,7 @@ pub struct CampaignBuilder {
     plan_guidance: bool,
     plan_observation: bool,
     qpg: QpgConfig,
+    multi_session: bool,
 }
 
 impl CampaignBuilder {
@@ -217,6 +167,7 @@ impl CampaignBuilder {
             plan_guidance: false,
             plan_observation: false,
             qpg: QpgConfig::default(),
+            multi_session: false,
         }
     }
 
@@ -310,6 +261,24 @@ impl CampaignBuilder {
         self
     }
 
+    /// Enables multi-session transaction episodes: after each database is
+    /// generated, the worker appends a deterministic interleaved
+    /// `BEGIN`/DML/`COMMIT`/`ROLLBACK` episode across 2–3 logical sessions
+    /// to the statement log, drawn from the worker's *primary* RNG stream
+    /// (see [`StateGenerator::generate_txn_episode`]).  This is the state
+    /// the `serializability` oracle checks.
+    ///
+    /// **Defaults to off**, and off means *bit-identical*: no extra RNG
+    /// draws, no extra statements, so default campaigns reproduce
+    /// pre-transaction reports exactly at the same seed.
+    ///
+    /// [`StateGenerator::generate_txn_episode`]: crate::gen::StateGenerator::generate_txn_episode
+    #[must_use]
+    pub fn multi_session(mut self, enabled: bool) -> Self {
+        self.multi_session = enabled;
+        self
+    }
+
     /// Replaces the oracle registry used to resolve
     /// [`oracle`](CampaignBuilder::oracle) names.
     #[must_use]
@@ -344,7 +313,8 @@ impl CampaignBuilder {
     }
 
     /// Registers every oracle of the registry, in canonical registry order
-    /// (`error`, `containment`, `tlp`, `norec` for the builtin registry),
+    /// (`error`, `containment`, `tlp`, `norec`, `serializability` for the
+    /// builtin registry),
     /// skipping
     /// any oracle already requested by name — so combining it with explicit
     /// [`oracle`](CampaignBuilder::oracle) calls (or calling it twice)
@@ -388,6 +358,7 @@ impl CampaignBuilder {
             plan_guidance,
             plan_observation,
             qpg,
+            multi_session,
         } = self;
         let specs = if oracles.is_empty() {
             // The classic PQS pair, in the order the original runner used
@@ -422,6 +393,7 @@ impl CampaignBuilder {
             plan_guidance,
             plan_observation,
             qpg,
+            multi_session,
         }
     }
 
@@ -445,6 +417,7 @@ pub struct Campaign {
     plan_guidance: bool,
     plan_observation: bool,
     qpg: QpgConfig,
+    multi_session: bool,
 }
 
 impl fmt::Debug for Campaign {
@@ -522,6 +495,7 @@ impl Campaign {
             stats.crashes += s.crashes;
             stats.tlp_violations += s.tlp_violations;
             stats.norec_violations += s.norec_violations;
+            stats.serializability_violations += s.serializability_violations;
             stats.plan_mutations += s.plan_mutations;
             // The earliest point (in per-query checks) at which *any*
             // worker raised its first detection — the "checks until first
@@ -548,6 +522,8 @@ impl Campaign {
                 match name {
                     "norec_pairs_checked" => stats.norec_pairs_checked += delta,
                     "norec_plan_divergences" => stats.norec_plan_divergences += delta,
+                    "serial_episodes_checked" => stats.serial_episodes_checked += delta,
+                    "serial_orders_tried" => stats.serial_orders_tried += delta,
                     _ => {}
                 }
             }
@@ -592,8 +568,13 @@ impl Campaign {
             // fault-free engine.  Without the second condition the reducer
             // could drop the statements that make the pivot row exist in
             // the first place.
+            // Candidates that orphan half of a BEGIN/COMMIT/ROLLBACK pair
+            // are rejected up front: reduced multi-session scripts keep
+            // transactions whole or drop them whole (trivially true for
+            // transaction-free logs).
             let reduced_keep = reduce_indices(detection.statements.len(), &mut |keep| {
-                session.reproduces_subset(&profile, keep, &detection.repro)
+                transactions_well_formed(keep.iter().map(|&i| &detection.statements[i]))
+                    && session.reproduces_subset(&profile, keep, &detection.repro)
                     && !session.reproduces_subset(&none, keep, &detection.repro)
             });
             let reduced: Vec<&Statement> =
@@ -692,7 +673,13 @@ impl Campaign {
         for _ in 0..databases {
             let mut engine = Engine::with_bugs(self.dialect, profile.clone());
             let mut generator = StateGenerator::new(self.dialect, self.gen.clone());
-            let (mut log, failures) = generator.generate_database(&mut rng, &mut engine);
+            let (mut log, mut failures) = generator.generate_database(&mut rng, &mut engine);
+            if self.multi_session {
+                let (episode_log, episode_failures) =
+                    generator.generate_txn_episode(&mut rng, &mut engine);
+                log.extend(episode_log);
+                failures.extend(episode_failures);
+            }
             if let Some((guide, _, _)) = guide.as_mut() {
                 guide.start_database();
             }
@@ -724,6 +711,9 @@ impl Campaign {
                             DetectionKind::Crash => stats.crashes += 1,
                             DetectionKind::Tlp => stats.tlp_violations += 1,
                             DetectionKind::Norec => stats.norec_violations += 1,
+                            DetectionKind::Serializability => {
+                                stats.serializability_violations += 1;
+                            }
                         }
                         if stats.first_detection_check.is_none() {
                             stats.first_detection_check = Some(stats.queries_checked);
@@ -800,6 +790,16 @@ pub struct CampaignStats {
     pub tlp_violations: u64,
     /// Raw NoREC pair mismatches observed (before dedup).
     pub norec_violations: u64,
+    /// Raw serializability violations observed (before dedup); 0 unless
+    /// the `serializability` oracle is registered and multi-session
+    /// episodes are enabled.
+    pub serializability_violations: u64,
+    /// Multi-session episodes the serializability oracle decomposed and
+    /// checked against serial orders.
+    pub serial_episodes_checked: u64,
+    /// Serial orders (commit-order permutations) the serializability
+    /// oracle replayed across all checked episodes.
+    pub serial_orders_tried: u64,
     /// NoREC pairs where both sides executed and their counts were
     /// compared (0 unless the `norec` oracle is registered).
     pub norec_pairs_checked: u64,
@@ -914,6 +914,7 @@ impl CampaignReport {
                     DetectionKind::Crash => row.triggered_crash += 1,
                     DetectionKind::Tlp => row.triggered_tlp += 1,
                     DetectionKind::Norec => row.triggered_norec += 1,
+                    DetectionKind::Serializability => row.triggered_serial += 1,
                 }
             }
         }
@@ -1007,6 +1008,8 @@ pub struct StatementDistributionRow {
     pub triggered_tlp: usize,
     /// Triggering statement count for the NoREC oracle.
     pub triggered_norec: usize,
+    /// Triggering statement count for the serializability oracle.
+    pub triggered_serial: usize,
 }
 
 impl StatementDistributionRow {
@@ -1020,6 +1023,7 @@ impl StatementDistributionRow {
             triggered_crash: 0,
             triggered_tlp: 0,
             triggered_norec: 0,
+            triggered_serial: 0,
         }
     }
 }
@@ -1062,31 +1066,8 @@ pub fn reproduces(
         // their prerequisites; keep going, mirroring SQLancer's reducer.
         let _ = engine.execute(stmt);
     }
-    crate::replay::confirms(&mut engine, &last[0], repro)
-}
-
-/// Runs a campaign for one dialect (the pre-builder API).
-#[deprecated(since = "0.1.0", note = "use `Campaign::builder(dialect)...run()` instead")]
-#[allow(deprecated)]
-#[must_use]
-pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    Campaign::builder(config.dialect)
-        .databases(config.databases)
-        .queries(config.queries_per_database)
-        .seed(config.seed)
-        .gen(config.gen.clone())
-        .threads(config.threads)
-        .build_with_optional_bugs(config.bugs.clone())
-        .run()
-}
-
-impl CampaignBuilder {
-    /// Shim helper for the deprecated [`run_campaign`] entry point, where
-    /// `bugs` is an `Option` rather than a set value.
-    fn build_with_optional_bugs(mut self, bugs: Option<BugProfile>) -> Campaign {
-        self.bugs = bugs;
-        self.build()
-    }
+    let setup_refs: Vec<&Statement> = setup.iter().collect();
+    crate::replay::confirms(&mut engine, &setup_refs, &last[0], repro)
 }
 
 #[cfg(test)]
@@ -1223,24 +1204,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_config_shim_matches_builder() {
-        #[allow(deprecated)]
-        let legacy = {
-            let mut config = CampaignConfig::quick(Dialect::Sqlite);
-            config.databases = 4;
-            config.queries_per_database = 15;
-            run_campaign(&config)
-        };
-        let modern = quick_campaign(Dialect::Sqlite).databases(4).queries(15).run();
-        assert_eq!(legacy.stats.queries_checked, modern.stats.queries_checked);
-        assert_eq!(legacy.stats.statements_executed, modern.stats.statements_executed);
-        assert_eq!(
-            legacy.found.iter().map(|f| f.id).collect::<Vec<_>>(),
-            modern.found.iter().map(|f| f.id).collect::<Vec<_>>()
-        );
-    }
-
-    #[test]
     #[should_panic(expected = "unknown oracle 'qpg-fuzz'")]
     fn unknown_oracle_names_panic_at_build() {
         let _ = Campaign::builder(Dialect::Sqlite).oracle("qpg-fuzz").build();
@@ -1254,7 +1217,10 @@ mod tests {
         // Contains/Error/SEGFAULT columns) bit-identical at the same seed.
         let classic = quick_campaign(Dialect::Sqlite).databases(8).queries(30).run();
         let extended = quick_campaign(Dialect::Sqlite).databases(8).queries(30).all_oracles().run();
-        assert_eq!(extended.oracles, vec!["error", "containment", "tlp", "norec"]);
+        assert_eq!(
+            extended.oracles,
+            vec!["error", "containment", "tlp", "norec", "serializability"]
+        );
         let classic_pqs: Vec<(BugId, DetectionKind)> =
             classic.found.iter().map(|f| (f.id, f.kind)).collect();
         let extended_pqs: Vec<(BugId, DetectionKind)> = extended
@@ -1268,6 +1234,11 @@ mod tests {
         assert_eq!(classic.stats.unexpected_errors, extended.stats.unexpected_errors);
         assert_eq!(classic.stats.crashes, extended.stats.crashes);
         assert_eq!(classic.stats.norec_pairs_checked, 0, "norec is not registered by default");
+        // Without multi-session episodes there is nothing for the
+        // serializability oracle to check: it skips every database and the
+        // statement logs are bit-identical to the classic campaign's.
+        assert_eq!(extended.stats.serializability_violations, 0);
+        assert_eq!(extended.stats.serial_episodes_checked, 0);
     }
 
     #[test]
@@ -1335,9 +1306,15 @@ mod tests {
     fn all_oracles_deduplicates_requested_names() {
         let combined =
             Campaign::builder(Dialect::Sqlite).oracle("containment").all_oracles().build();
-        assert_eq!(combined.oracle_names(), vec!["containment", "error", "tlp", "norec"]);
+        assert_eq!(
+            combined.oracle_names(),
+            vec!["containment", "error", "tlp", "norec", "serializability"]
+        );
         let twice = Campaign::builder(Dialect::Sqlite).all_oracles().all_oracles().build();
-        assert_eq!(twice.oracle_names(), vec!["error", "containment", "tlp", "norec"]);
+        assert_eq!(
+            twice.oracle_names(),
+            vec!["error", "containment", "tlp", "norec", "serializability"]
+        );
     }
 
     #[test]
@@ -1374,6 +1351,74 @@ mod tests {
                 .and_then(serde_json::Value::as_array)
                 .map(<[_]>::len),
             Some(3)
+        );
+    }
+
+    #[test]
+    fn multi_session_campaigns_find_each_transaction_fault() {
+        // The tentpole acceptance check: with multi-session episodes on,
+        // each dialect's injected transaction fault is found, attributed
+        // and reduced end to end — and the reduced script never orphans a
+        // transaction bracket.
+        for (dialect, fault) in [
+            (Dialect::Sqlite, BugId::SqliteTornRollbackIndexed),
+            (Dialect::Mysql, BugId::MysqlLostUpdate),
+            (Dialect::Postgres, BugId::PostgresSerialCounterSurvivesRollback),
+            (Dialect::Duckdb, BugId::DuckdbCommitLaneAlignedPrefix),
+        ] {
+            let report = quick_campaign(dialect)
+                .bugs(BugProfile::with(&[fault]))
+                .multi_session(true)
+                .oracle("serializability")
+                .databases(40)
+                .queries(1)
+                .run();
+            assert!(
+                report.stats.serial_episodes_checked > 0,
+                "{dialect:?}: no multi-session episodes were checked"
+            );
+            let found: Vec<&FoundBug> = report.found.iter().filter(|f| f.id == fault).collect();
+            assert!(
+                !found.is_empty(),
+                "{dialect:?}: {fault:?} not found (violations: {}, episodes: {})",
+                report.stats.serializability_violations,
+                report.stats.serial_episodes_checked,
+            );
+            for f in found {
+                assert_eq!(f.kind, DetectionKind::Serializability);
+                assert_eq!(f.oracle, "serializability");
+                let reduced: Vec<Statement> = f
+                    .reduced_sql
+                    .iter()
+                    .map(|sql| {
+                        lancer_sql::parse_statement(sql)
+                            .unwrap_or_else(|e| panic!("reduced stmt must parse: {sql}: {e:?}"))
+                    })
+                    .collect();
+                assert!(
+                    transactions_well_formed(&reduced),
+                    "{dialect:?}: reduced script orphans a bracket: {:?}",
+                    f.reduced_sql
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_session_episodes_are_deterministic_across_runs() {
+        // Episodes draw from the primary worker stream, so the same seed
+        // yields the same interleaved logs — and thus identical stats.
+        let a =
+            quick_campaign(Dialect::Sqlite).multi_session(true).all_oracles().databases(6).run();
+        let b =
+            quick_campaign(Dialect::Sqlite).multi_session(true).all_oracles().databases(6).run();
+        assert!(a.stats.serial_episodes_checked > 0);
+        assert_eq!(a.stats.serial_episodes_checked, b.stats.serial_episodes_checked);
+        assert_eq!(a.stats.serial_orders_tried, b.stats.serial_orders_tried);
+        assert_eq!(a.stats.statements_executed, b.stats.statements_executed);
+        assert_eq!(
+            a.found.iter().map(|f| f.id).collect::<Vec<_>>(),
+            b.found.iter().map(|f| f.id).collect::<Vec<_>>()
         );
     }
 }

@@ -33,6 +33,10 @@ pub enum Oracle {
     /// The NoREC optimisation-consistency oracle (logic bug that only an
     /// optimised execution path exhibits).
     Norec,
+    /// The serializability/atomicity oracle (transaction bug: the final
+    /// state of an interleaving matches no serial order of the committed
+    /// sessions, or a rolled-back session's effects are visible).
+    Serializability,
 }
 
 impl Oracle {
@@ -44,6 +48,7 @@ impl Oracle {
             Oracle::Error => "Error",
             Oracle::Crash => "SEGFAULT",
             Oracle::Norec => "NoREC",
+            Oracle::Serializability => "Serial",
         }
     }
 }
@@ -246,6 +251,11 @@ define_bugs! {
         paper: "Section 4.4",
         desc: "UPDATE OR REPLACE removes conflicting rows even when the conflict involves NULL keys"
     },
+    SqliteTornRollbackIndexed => {
+        dialect: Dialect::Sqlite, oracle: Oracle::Serializability, status: BugStatus::Fixed,
+        paper: "transaction extension (torn rollback)",
+        desc: "ROLLBACK re-applies the undone statements that touch indexed tables, leaving a rolled-back session's writes visible"
+    },
 
     // -------------------------------------------------------- MySQL profile
     MysqlMemoryEngineJoinMiss => {
@@ -298,6 +308,11 @@ define_bugs! {
         paper: "Section 4.5",
         desc: "unsigned subtraction wrapping reported as a bug, documented as intended BIGINT UNSIGNED semantics"
     },
+    MysqlLostUpdate => {
+        dialect: Dialect::Mysql, oracle: Oracle::Serializability, status: BugStatus::Verified,
+        paper: "transaction extension (lost update)",
+        desc: "COMMIT publishes the session's private workspace wholesale, clobbering writes other sessions committed since its BEGIN"
+    },
 
     // --------------------------------------------------- PostgreSQL profile
     PostgresInheritanceGroupByMissingRow => {
@@ -335,6 +350,11 @@ define_bugs! {
         paper: "Section 4.6",
         desc: "rows inserted through an inheritance child are skipped by parent scans when the parent column is SERIAL"
     },
+    PostgresSerialCounterSurvivesRollback => {
+        dialect: Dialect::Postgres, oracle: Oracle::Serializability, status: BugStatus::Intended,
+        paper: "transaction extension (sequences ignore rollback)",
+        desc: "ROLLBACK keeps SERIAL counter advances made inside the transaction, so later inserts skip values; matches documented sequence semantics"
+    },
 
     // ------------------------------------------- DuckDB-like profile
     // Extends the population beyond the paper's census with faults whose
@@ -354,6 +374,11 @@ define_bugs! {
         dialect: Dialect::Duckdb, oracle: Oracle::Norec, status: BugStatus::Fixed,
         paper: "columnar extension (vectorised aggregation)",
         desc: "the vectorised SUM fold widens lane-width blocks and skips the partial tail block, so SUM over a filtered column undercounts"
+    },
+    DuckdbCommitLaneAlignedPrefix => {
+        dialect: Dialect::Duckdb, oracle: Oracle::Serializability, status: BugStatus::Fixed,
+        paper: "transaction extension (lane-aligned commit)",
+        desc: "COMMIT publishes only the lane-aligned prefix of the transaction's statement log, silently dropping the partial tail batch"
     },
 }
 

@@ -37,7 +37,10 @@ pub const ALL_FEATURES: &[&str] = &[
     "stmt.pragma",
     "stmt.set_option",
     "stmt.discard",
-    "stmt.transaction",
+    "stmt.begin",
+    "stmt.commit",
+    "stmt.rollback",
+    "stmt.session",
     // Expression evaluation.
     "expr.literal",
     "expr.column",

@@ -17,7 +17,7 @@ use lancer_sql::parser::{parse_script, parse_statement};
 use lancer_sql::value::Value;
 use lancer_storage::Database;
 
-use crate::bugs::BugProfile;
+use crate::bugs::{BugId, BugProfile};
 use crate::coverage::Coverage;
 use crate::dialect::Dialect;
 use crate::error::{EngineError, EngineResult};
@@ -51,12 +51,33 @@ impl QueryResult {
     }
 }
 
+/// Per-session transaction state: a private copy-on-write snapshot of the
+/// mutable engine workspace taken at `BEGIN`, plus the log of statements
+/// the transaction has applied to it.  `COMMIT` publishes by replaying the
+/// log against the shared workspace (so concurrent commits merge instead
+/// of clobbering each other); `ROLLBACK` simply discards the snapshot.
+#[derive(Debug, Clone)]
+struct TxnState {
+    db: Database,
+    analyzed: BTreeSet<String>,
+    statistics: BTreeSet<String>,
+    poisoned_columns: Vec<(String, String, String)>,
+    like_pragma_changed: bool,
+    serial_counters: BTreeMap<(String, String), i64>,
+    log: Vec<Statement>,
+}
+
 /// One emulated DBMS instance: a dialect profile, a fault profile and a
 /// database.  This is the system under test that SQLancer drives.
 ///
 /// Engines are `Clone`: a clone is a full snapshot of the database,
 /// option state and statement counter, which is what the replay cache in
 /// `lancer-core` memoizes per statement-log prefix.
+///
+/// N logical sessions share one engine (and thus one catalog): the active
+/// session is switched with [`Engine::session`] or by executing the
+/// `SESSION <id>` log marker, and each session may hold at most one open
+/// transaction (a private `TxnState` workspace snapshot).
 #[derive(Debug, Clone)]
 pub struct Engine {
     dialect: Dialect,
@@ -78,6 +99,10 @@ pub struct Engine {
     /// Number of statements executed (drives the "nondeterministic" SET
     /// failure fault).
     pub(crate) statements_executed: u64,
+    /// The logical session statements currently execute under.
+    active_session: u32,
+    /// Open transactions, keyed by session id.
+    txns: BTreeMap<u32, TxnState>,
 }
 
 impl Engine {
@@ -101,6 +126,8 @@ impl Engine {
             like_pragma_changed: false,
             serial_counters: BTreeMap::new(),
             statements_executed: 0,
+            active_session: 0,
+            txns: BTreeMap::new(),
         }
     }
 
@@ -182,6 +209,18 @@ impl Engine {
     /// errors, corruptions or simulated crashes.
     pub fn execute(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
         self.statements_executed += 1;
+        if matches!(
+            stmt,
+            Statement::Begin | Statement::Commit | Statement::Rollback | Statement::Session { .. }
+        ) {
+            return self.exec_txn_control(stmt);
+        }
+        // When the active session holds an open transaction, execute
+        // against its private workspace instead of the shared one.
+        let in_txn = self.txns.contains_key(&self.active_session);
+        if in_txn {
+            self.swap_workspace();
+        }
         // Statements are atomic: a failing statement leaves the database
         // unchanged (multi-row INSERTs in particular must not be partially
         // applied), matching the real DBMS and keeping generated statement
@@ -191,7 +230,177 @@ impl Engine {
         if result.is_err() {
             self.db = snapshot;
         }
+        if in_txn {
+            self.swap_workspace();
+            if result.is_ok() {
+                let txn = self.txns.get_mut(&self.active_session).expect("open transaction");
+                txn.log.push(stmt.clone());
+            }
+        }
         result
+    }
+
+    /// Switches the statements that follow to the given logical session.
+    /// Sessions share the catalog; each may hold one open transaction.
+    pub fn session(&mut self, id: u32) -> SessionHandle<'_> {
+        self.active_session = id;
+        SessionHandle { engine: self }
+    }
+
+    /// The session id statements currently execute under.
+    #[must_use]
+    pub fn active_session(&self) -> u32 {
+        self.active_session
+    }
+
+    /// Returns `true` if the given session holds an open transaction.
+    #[must_use]
+    pub fn in_transaction(&self, session: u32) -> bool {
+        self.txns.contains_key(&session)
+    }
+
+    /// Exchanges the shared workspace with the active session's private
+    /// transaction workspace (the coverage recorder and statement counter
+    /// stay engine-global).
+    fn swap_workspace(&mut self) {
+        let txn = self.txns.get_mut(&self.active_session).expect("open transaction");
+        std::mem::swap(&mut self.db, &mut txn.db);
+        std::mem::swap(&mut self.analyzed, &mut txn.analyzed);
+        std::mem::swap(&mut self.statistics, &mut txn.statistics);
+        std::mem::swap(&mut self.poisoned_columns, &mut txn.poisoned_columns);
+        std::mem::swap(&mut self.like_pragma_changed, &mut txn.like_pragma_changed);
+        std::mem::swap(&mut self.serial_counters, &mut txn.serial_counters);
+    }
+
+    fn exec_txn_control(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
+        match stmt {
+            Statement::Session { id } => {
+                self.cover("stmt.session");
+                self.active_session = *id;
+                Ok(QueryResult::empty())
+            }
+            Statement::Begin => {
+                if self.txns.contains_key(&self.active_session) {
+                    return Err(EngineError::semantic(match self.dialect {
+                        Dialect::Sqlite => "cannot start a transaction within a transaction",
+                        Dialect::Mysql => {
+                            "Transaction characteristics can't be changed while a \
+                             transaction is in progress"
+                        }
+                        Dialect::Postgres => "there is already a transaction in progress",
+                        Dialect::Duckdb => {
+                            "TransactionContext Error: cannot start a transaction \
+                             within a transaction"
+                        }
+                    }));
+                }
+                self.cover("stmt.begin");
+                let txn = TxnState {
+                    db: self.db.clone(),
+                    analyzed: self.analyzed.clone(),
+                    statistics: self.statistics.clone(),
+                    poisoned_columns: self.poisoned_columns.clone(),
+                    like_pragma_changed: self.like_pragma_changed,
+                    serial_counters: self.serial_counters.clone(),
+                    log: Vec::new(),
+                };
+                self.txns.insert(self.active_session, txn);
+                Ok(QueryResult::empty())
+            }
+            Statement::Commit => {
+                let Some(txn) = self.txns.remove(&self.active_session) else {
+                    return Err(EngineError::semantic(match self.dialect {
+                        Dialect::Sqlite => "cannot commit - no transaction is active",
+                        Dialect::Mysql => "There is no active transaction",
+                        Dialect::Postgres => "there is no transaction in progress",
+                        Dialect::Duckdb => {
+                            "TransactionContext Error: cannot commit - no transaction is active"
+                        }
+                    }));
+                };
+                self.cover("stmt.commit");
+                if self.bugs.is_enabled(BugId::MysqlLostUpdate) {
+                    // Lost update: publish the private workspace wholesale,
+                    // clobbering whatever other sessions committed since
+                    // this transaction's BEGIN.
+                    self.db = txn.db;
+                    self.analyzed = txn.analyzed;
+                    self.statistics = txn.statistics;
+                    self.poisoned_columns = txn.poisoned_columns;
+                    self.like_pragma_changed = txn.like_pragma_changed;
+                    self.serial_counters = txn.serial_counters;
+                    return Ok(QueryResult::empty());
+                }
+                let publish = if self.bugs.is_enabled(BugId::DuckdbCommitLaneAlignedPrefix) {
+                    // Lane-aligned commit: only full lane groups of the
+                    // transaction log are published; the partial tail batch
+                    // is silently dropped.
+                    &txn.log[..txn.log.len() / 8 * 8]
+                } else {
+                    &txn.log[..]
+                };
+                self.replay_into_shared(publish);
+                Ok(QueryResult::empty())
+            }
+            Statement::Rollback => {
+                let Some(txn) = self.txns.remove(&self.active_session) else {
+                    return Err(EngineError::semantic(match self.dialect {
+                        Dialect::Sqlite => "cannot rollback - no transaction is active",
+                        Dialect::Mysql => "There is no active transaction",
+                        Dialect::Postgres => "there is no transaction in progress",
+                        Dialect::Duckdb => {
+                            "TransactionContext Error: cannot rollback - no transaction is active"
+                        }
+                    }));
+                };
+                self.cover("stmt.rollback");
+                if self.bugs.is_enabled(BugId::SqliteTornRollbackIndexed) {
+                    // Torn rollback: the undo pass skips statements whose
+                    // target table carries an index, re-applying their
+                    // effects to the shared state instead of discarding
+                    // them.
+                    let torn: Vec<Statement> = txn
+                        .log
+                        .iter()
+                        .filter(|s| {
+                            Self::dml_target(s).is_some_and(|t| !self.db.indexes_on(t).is_empty())
+                        })
+                        .cloned()
+                        .collect();
+                    self.replay_into_shared(&torn);
+                }
+                if self.bugs.is_enabled(BugId::PostgresSerialCounterSurvivesRollback) {
+                    // Sequence advances made inside the transaction survive
+                    // the rollback, as real PostgreSQL sequences do.
+                    self.serial_counters = txn.serial_counters;
+                }
+                Ok(QueryResult::empty())
+            }
+            _ => unreachable!("exec_txn_control called for a non-transaction statement"),
+        }
+    }
+
+    /// Replays a committed transaction log against the shared workspace.
+    /// Individual statements may fail (another session's commit can have
+    /// introduced a conflicting row since BEGIN); a failing statement is
+    /// skipped and leaves the shared state unchanged, like `execute`.
+    fn replay_into_shared(&mut self, stmts: &[Statement]) {
+        for stmt in stmts {
+            let snapshot = self.db.clone();
+            if self.dispatch(stmt).is_err() {
+                self.db = snapshot;
+            }
+        }
+    }
+
+    /// The table a DML statement writes to, if any.
+    fn dml_target(stmt: &Statement) -> Option<&str> {
+        match stmt {
+            Statement::Insert(ins) => Some(&ins.table),
+            Statement::Update(upd) => Some(&upd.table),
+            Statement::Delete(del) => Some(&del.table),
+            _ => None,
+        }
     }
 
     fn dispatch(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
@@ -241,13 +450,41 @@ impl Engine {
                 self.cover("stmt.discard");
                 Ok(QueryResult::empty())
             }
-            Statement::Begin | Statement::Commit | Statement::Rollback => {
-                // Transactions are accepted but not isolated: each worker
-                // owns its database, matching the per-thread setup in §3.4.
-                self.cover("stmt.transaction");
-                Ok(QueryResult::empty())
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::Session { .. } => {
+                unreachable!("transaction control is intercepted by execute()")
             }
         }
+    }
+}
+
+/// A borrow of the engine bound to one logical session, from
+/// [`Engine::session`].  Statements executed through the handle run under
+/// that session id; the engine (and its catalog) stays shared.
+#[derive(Debug)]
+pub struct SessionHandle<'a> {
+    engine: &'a mut Engine,
+}
+
+impl SessionHandle<'_> {
+    /// Executes a single statement under this session.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::execute`].
+    pub fn execute(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
+        self.engine.execute(stmt)
+    }
+
+    /// Parses and executes a single SQL statement under this session.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::execute_sql`].
+    pub fn execute_sql(&mut self, sql: &str) -> EngineResult<QueryResult> {
+        self.engine.execute_sql(sql)
     }
 }
 
@@ -275,11 +512,91 @@ mod tests {
     }
 
     #[test]
-    fn transactions_are_accepted() {
+    fn commit_publishes_and_rollback_discards() {
         let mut e = Engine::new(Dialect::Postgres);
+        e.execute_sql("CREATE TABLE t0(c0 INTEGER)").unwrap();
         e.execute_sql("BEGIN").unwrap();
+        e.execute_sql("INSERT INTO t0(c0) VALUES (1)").unwrap();
+        // Uncommitted writes are invisible outside the transaction's
+        // session but visible inside it.
+        assert_eq!(e.session(1).execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 0);
+        assert_eq!(e.session(0).execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 1);
         e.execute_sql("COMMIT").unwrap();
+        assert_eq!(e.session(1).execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 1);
+
+        e.session(1).execute_sql("BEGIN").unwrap();
+        e.execute_sql("INSERT INTO t0(c0) VALUES (2)").unwrap();
         e.execute_sql("ROLLBACK").unwrap();
-        assert_eq!(e.statements_executed(), 3);
+        assert_eq!(e.execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn transaction_misuse_is_a_dialect_error() {
+        for d in Dialect::ALL {
+            let mut e = Engine::new(d);
+            let commit = e.execute_sql("COMMIT").unwrap_err();
+            let rollback = e.execute_sql("ROLLBACK").unwrap_err();
+            e.execute_sql("BEGIN").unwrap();
+            let nested = e.execute_sql("BEGIN").unwrap_err();
+            for err in [&commit, &rollback, &nested] {
+                assert_eq!(err.class, crate::error::ErrorClass::Semantic, "{d:?}: {err:?}");
+            }
+            match d {
+                Dialect::Sqlite => {
+                    assert_eq!(commit.message, "cannot commit - no transaction is active");
+                    assert_eq!(rollback.message, "cannot rollback - no transaction is active");
+                    assert_eq!(nested.message, "cannot start a transaction within a transaction");
+                }
+                Dialect::Mysql => {
+                    assert_eq!(commit.message, "There is no active transaction");
+                    assert_eq!(rollback.message, "There is no active transaction");
+                    assert!(nested.message.contains("transaction is in progress"));
+                }
+                Dialect::Postgres => {
+                    assert_eq!(commit.message, "there is no transaction in progress");
+                    assert_eq!(rollback.message, "there is no transaction in progress");
+                    assert_eq!(nested.message, "there is already a transaction in progress");
+                }
+                Dialect::Duckdb => {
+                    assert!(commit.message.starts_with("TransactionContext Error"));
+                    assert!(rollback.message.starts_with("TransactionContext Error"));
+                    assert!(nested.message.starts_with("TransactionContext Error"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_isolate_their_transactions() {
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_sql("CREATE TABLE t0(c0)").unwrap();
+        e.session(1).execute_sql("BEGIN").unwrap();
+        e.session(1).execute_sql("INSERT INTO t0(c0) VALUES (1)").unwrap();
+        e.session(2).execute_sql("BEGIN").unwrap();
+        e.session(2).execute_sql("INSERT INTO t0(c0) VALUES (2)").unwrap();
+        // Each session sees only its own uncommitted write.
+        assert_eq!(e.session(1).execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 1);
+        assert_eq!(e.session(2).execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 1);
+        // Commits replay logs against the shared state, so both writes
+        // survive even though the transactions overlapped.
+        e.session(1).execute_sql("COMMIT").unwrap();
+        e.session(2).execute_sql("COMMIT").unwrap();
+        assert_eq!(e.session(0).execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn session_marker_statement_switches_sessions() {
+        let mut e = Engine::new(Dialect::Sqlite);
+        assert_eq!(e.active_session(), 0);
+        e.execute_sql("SESSION 3").unwrap();
+        assert_eq!(e.active_session(), 3);
+        e.execute_sql("BEGIN").unwrap();
+        assert!(e.in_transaction(3));
+        assert!(!e.in_transaction(0));
+        e.execute_sql("SESSION 0").unwrap();
+        // Session 3's transaction stays open across the switch.
+        e.execute_sql("SESSION 3").unwrap();
+        e.execute_sql("COMMIT").unwrap();
+        assert!(!e.in_transaction(3));
     }
 }

@@ -477,6 +477,7 @@ impl fmt::Display for Statement {
             Statement::Begin => f.write_str("BEGIN"),
             Statement::Commit => f.write_str("COMMIT"),
             Statement::Rollback => f.write_str("ROLLBACK"),
+            Statement::Session { id } => write!(f, "SESSION {id}"),
         }
     }
 }

@@ -518,6 +518,14 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK`.
     Rollback,
+    /// `SESSION <id>` — a session switch marker in a multi-session
+    /// statement log.  Not SQL any real DBMS accepts; it stands in for
+    /// "the following statements run on connection `id`", keeping
+    /// interleaved logs flat so reduction and replay work unchanged.
+    Session {
+        /// The logical session (connection) id.
+        id: u32,
+    },
 }
 
 /// Statement categories matching Figure 3 of the paper.
@@ -549,6 +557,8 @@ pub enum StatementKind {
     CreateView,
     /// Transaction control
     Transaction,
+    /// Session switch marker (multi-session logs)
+    Session,
     /// `DROP INDEX`
     DropIndex,
     /// `DROP TABLE` / `DROP VIEW`
@@ -581,6 +591,7 @@ impl StatementKind {
             StatementKind::Vacuum => "VACUUM",
             StatementKind::CreateView => "CREATE VIEW",
             StatementKind::Transaction => "TRANSACTION",
+            StatementKind::Session => "SESSION",
             StatementKind::DropIndex => "DROP INDEX",
             StatementKind::Drop => "DROP",
             StatementKind::RepairCheckTable => "REPAIR/CHECK TABLE",
@@ -619,6 +630,7 @@ impl Statement {
             Statement::Begin | Statement::Commit | Statement::Rollback => {
                 StatementKind::Transaction
             }
+            Statement::Session { .. } => StatementKind::Session,
         }
     }
 

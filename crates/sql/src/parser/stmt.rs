@@ -111,6 +111,15 @@ impl Parser {
                 self.advance();
                 Ok(Statement::Rollback)
             }
+            "SESSION" => {
+                self.advance();
+                match self.advance().cloned() {
+                    Some(Token::Integer(i)) if (0..=i64::from(u32::MAX)).contains(&i) => {
+                        Ok(Statement::Session { id: i as u32 })
+                    }
+                    other => Err(ParseError::new(format!("expected session id, found {other:?}"))),
+                }
+            }
             other => Err(ParseError::new(format!("unknown statement keyword {other}"))),
         }
     }

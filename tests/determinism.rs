@@ -89,7 +89,7 @@ fn multi_threaded_split_matches_itself() {
 fn all_oracle_campaigns_are_deterministic_too() {
     let first = quick(Dialect::Sqlite).all_oracles().threads(2).run();
     let second = quick(Dialect::Sqlite).all_oracles().threads(2).run();
-    assert_eq!(first.oracles, vec!["error", "containment", "tlp", "norec"]);
+    assert_eq!(first.oracles, vec!["error", "containment", "tlp", "norec", "serializability"]);
     assert_eq!(
         fingerprint(&first),
         fingerprint(&second),

@@ -123,7 +123,7 @@ fn campaign_reports_round_trip_through_json() {
     );
     assert_eq!(
         parsed.get("oracles").and_then(serde_json::Value::as_array).map(<[_]>::len),
-        Some(4)
+        Some(5)
     );
     assert!(parsed.get("stats").and_then(|s| s.get("queries_checked")).is_some());
     let mut rerendered = String::new();

@@ -22,7 +22,7 @@ use rand::SeedableRng;
 #[test]
 fn no_builtin_oracle_false_positives_on_any_dialect() {
     let registry = OracleRegistry::builtin();
-    assert_eq!(registry.names(), vec!["error", "containment", "tlp", "norec"]);
+    assert_eq!(registry.names(), vec!["error", "containment", "tlp", "norec", "serializability"]);
     for dialect in Dialect::ALL {
         for name in registry.names() {
             // 5 databases × 40 queries = 200 per-query checks (the error
@@ -56,7 +56,9 @@ fn no_builtin_oracle_false_positives_on_any_dialect() {
                 s.unexpected_errors,
                 "every raw error-oracle detection on a correct engine must be filtered out"
             );
-            if name != "error" {
+            // Per-database oracles (error, serializability) do not consume
+            // the per-query budget.
+            if name != "error" && name != "serializability" {
                 assert_eq!(s.queries_checked, 200, "{name}/{dialect:?} must run the full budget");
             }
         }

@@ -1,0 +1,129 @@
+//! Transaction round-trip suite: multi-session repro scripts must survive
+//! the whole report lifecycle — reduction keeps `BEGIN`/`COMMIT`/`ROLLBACK`
+//! brackets intact, and a reduced script replays to the *same verdict*
+//! whether it goes through the prefix-keyed [`ReplayCache`] (the campaign
+//! path) or a fresh uncached engine (the `reproduces` one-shot path, i.e.
+//! what a human re-running the reported SQL would see).
+
+use lancer_core::{
+    reduce_indices, reproduces, transactions_well_formed, Campaign, ReplayCache, ReplaySession,
+    ReproSpec,
+};
+use lancer_engine::{BugId, BugProfile, Dialect};
+use lancer_sql::ast::Statement;
+use lancer_sql::parse_script;
+
+/// A handcrafted multi-session episode that surfaces the SQLite torn
+/// rollback: session 2's rolled-back insert targets an indexed table, so
+/// the faulty ROLLBACK leaves it visible.
+fn torn_rollback_script() -> Vec<Statement> {
+    parse_script(
+        "CREATE TABLE t0(c0);
+         CREATE INDEX i0 ON t0(c0);
+         SESSION 1; BEGIN; INSERT INTO t0(c0) VALUES (1); COMMIT;
+         SESSION 2; BEGIN; INSERT INTO t0(c0) VALUES (2); ROLLBACK;
+         SESSION 0;
+         SELECT 1;",
+    )
+    .unwrap()
+}
+
+#[test]
+fn cached_and_uncached_txn_replays_reach_the_same_verdict() {
+    let stmts = torn_rollback_script();
+    let faulty = BugProfile::with(&[BugId::SqliteTornRollbackIndexed]);
+    let clean = BugProfile::none();
+    // Uncached one-shot path.
+    let direct_faulty = reproduces(Dialect::Sqlite, &faulty, &stmts, &ReproSpec::SerialDivergence);
+    let direct_clean = reproduces(Dialect::Sqlite, &clean, &stmts, &ReproSpec::SerialDivergence);
+    assert!(direct_faulty, "the torn rollback must diverge from every serial order");
+    assert!(!direct_clean, "a correct engine must stay serializable");
+    // Cached campaign path: same statements, same repro spec, through the
+    // prefix-snapshot cache — twice, so the second round is answered from
+    // the verdict memo and must still agree.
+    let mut cache = ReplayCache::new(Dialect::Sqlite);
+    for round in 0..2 {
+        let mut session = ReplaySession::new(&mut cache, "serializability", &stmts);
+        assert_eq!(
+            session.reproduces_all(&faulty, &ReproSpec::SerialDivergence),
+            direct_faulty,
+            "round {round}: cached faulty verdict diverged from the uncached one"
+        );
+        assert_eq!(
+            session.reproduces_all(&clean, &ReproSpec::SerialDivergence),
+            direct_clean,
+            "round {round}: cached clean verdict diverged from the uncached one"
+        );
+    }
+    assert!(cache.stats().verdict_hits > 0, "the second round must hit the verdict memo");
+}
+
+#[test]
+fn guarded_reduction_of_txn_scripts_round_trips() {
+    // Reduce the handcrafted episode exactly the way the runner does —
+    // through a ReplaySession with the well-formedness guard — then replay
+    // the reduced script uncached and check it still reproduces.
+    let stmts = torn_rollback_script();
+    let faulty = BugProfile::with(&[BugId::SqliteTornRollbackIndexed]);
+    let clean = BugProfile::none();
+    let repro = ReproSpec::SerialDivergence;
+    let mut cache = ReplayCache::new(Dialect::Sqlite);
+    let mut session = ReplaySession::new(&mut cache, "serializability", &stmts);
+    let keep = reduce_indices(stmts.len(), &mut |keep| {
+        transactions_well_formed(keep.iter().map(|&i| &stmts[i]))
+            && session.reproduces_subset(&faulty, keep, &repro)
+            && !session.reproduces_subset(&clean, keep, &repro)
+    });
+    let reduced: Vec<Statement> = keep.iter().map(|&i| stmts[i].clone()).collect();
+    assert!(
+        transactions_well_formed(&reduced),
+        "reduction orphaned a transaction bracket: {reduced:?}"
+    );
+    assert!(
+        reduced.iter().any(|s| matches!(s, Statement::Rollback)),
+        "the fault lives in ROLLBACK, which must survive reduction: {reduced:?}"
+    );
+    assert!(reproduces(Dialect::Sqlite, &faulty, &reduced, &repro));
+    assert!(!reproduces(Dialect::Sqlite, &clean, &reduced, &repro));
+}
+
+#[test]
+fn campaign_found_txn_scripts_replay_outside_the_campaign() {
+    // End-to-end round trip: a multi-session campaign reduces and
+    // attributes a serializability finding; the *reported SQL text* must
+    // re-parse and reproduce on a fresh engine with just that fault — the
+    // repro contract every bug report in the paper's workflow relies on.
+    for (dialect, fault) in [
+        (Dialect::Sqlite, BugId::SqliteTornRollbackIndexed),
+        (Dialect::Duckdb, BugId::DuckdbCommitLaneAlignedPrefix),
+    ] {
+        let report = Campaign::builder(dialect)
+            .quick()
+            .bugs(BugProfile::with(&[fault]))
+            .multi_session(true)
+            .oracle("serializability")
+            .databases(40)
+            .queries(1)
+            .run();
+        let found: Vec<_> = report.found.iter().filter(|f| f.id == fault).collect();
+        assert!(!found.is_empty(), "{dialect:?}: campaign must find {fault:?}");
+        for f in found {
+            let script = f.reduced_sql.join("\n");
+            let stmts = parse_script(&script).expect("reported SQL re-parses");
+            assert!(transactions_well_formed(&stmts), "{dialect:?}: orphaned bracket: {script}");
+            assert!(
+                reproduces(
+                    dialect,
+                    &BugProfile::with(&[fault]),
+                    &stmts,
+                    &ReproSpec::SerialDivergence
+                ),
+                "{dialect:?}: reported script must reproduce from its SQL text:\n{script}"
+            );
+            assert!(
+                !reproduces(dialect, &BugProfile::none(), &stmts, &ReproSpec::SerialDivergence),
+                "{dialect:?}: reported script must pass on a correct engine:\n{script}"
+            );
+        }
+    }
+}
