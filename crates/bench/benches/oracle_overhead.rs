@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lancer_core::oracle::ReproSpec;
 use lancer_core::{
-    rectify, reduce_indices, reduce_statements, reproduces, Interpreter, PivotColumn, PivotRow,
-    ReplayCache, ReplaySession,
+    rectify, reduce_hierarchical, reduce_indices, reduce_statements, reproduces, DifferentialJudge,
+    Interpreter, PivotColumn, PivotRow, ReduceOptions, ReductionStats, ReplayCache, ReplaySession,
 };
 use lancer_engine::{BugId, BugProfile, Dialect};
 use lancer_sql::ast::stmt::Statement;
@@ -179,6 +179,45 @@ fn reduce_and_attribute_cached(
     work
 }
 
+/// The full hierarchical pipeline over the same workload: session units →
+/// statement ddmin → expression shrinking, evaluated through a
+/// [`DifferentialJudge`] sharing the prefix-keyed cache, with `workers`
+/// wave-parallel candidate evaluators.  Returns the same work measure as
+/// the other variants plus the reducer's phase counters.
+fn reduce_and_attribute_hierarchical(
+    detections: &[(Vec<Statement>, ReproSpec)],
+    profile: &BugProfile,
+    workers: usize,
+) -> (usize, Vec<String>, ReductionStats) {
+    let none = BugProfile::none();
+    let mut cache = ReplayCache::new(Dialect::Sqlite);
+    let mut work = 0usize;
+    let mut repros = Vec::new();
+    let mut totals = ReductionStats::default();
+    let options = ReduceOptions { workers, ..ReduceOptions::default() };
+    for (statements, repro) in detections {
+        {
+            let mut session = ReplaySession::new(&mut cache, "containment", statements);
+            if session.reproduces_all(&none, repro) || !session.reproduces_all(profile, repro) {
+                continue;
+            }
+        }
+        let reduction = {
+            let judge = DifferentialJudge::new(&mut cache, "containment", profile, repro);
+            reduce_hierarchical(statements, &options, &judge)
+        };
+        totals.absorb(&reduction.stats);
+        work += reduction.statements.len();
+        let mut session = ReplaySession::new(&mut cache, "containment", &reduction.statements);
+        work += profile
+            .iter()
+            .filter(|bug| session.reproduces_all(&BugProfile::with(&[*bug]), repro))
+            .count();
+        repros.extend(reduction.statements.iter().map(ToString::to_string));
+    }
+    (work, repros, totals)
+}
+
 fn bench_reduction_attribution(c: &mut Criterion) {
     let (detections, profile) = listing1_detections();
     // Both paths must agree before their costs are worth comparing.
@@ -190,6 +229,29 @@ fn bench_reduction_attribution(c: &mut Criterion) {
         profile.is_enabled(BugId::SqlitePartialIndexImpliesNotNull),
         "the Listing-1 fault must be in the profile"
     );
+    // The parallel reducer must hand back bit-identical repros, and the
+    // expression pass must have judged (and shrunk) something the
+    // statement-only pipeline could not.
+    let (seq_work, seq_repros, stats) = reduce_and_attribute_hierarchical(&detections, &profile, 1);
+    let (par_work, par_repros, _) = reduce_and_attribute_hierarchical(&detections, &profile, 4);
+    assert_eq!(seq_work, par_work, "parallel evaluation changed the outcome");
+    assert_eq!(seq_repros, par_repros, "parallel repros must be bit-identical");
+    assert!(stats.expression_candidates > 0, "the expression pass must run: {stats:?}");
+    assert!(stats.expr_nodes_after < stats.expr_nodes_after_statements, "{stats:?}");
+    eprintln!(
+        "reduction_attribution/hierarchical: {} candidates ({} session, {} statement, \
+         {} expression), {} memo hits, statements {} -> {}, expr nodes {} -> {} -> {}",
+        stats.candidates_evaluated(),
+        stats.session_candidates,
+        stats.statement_candidates,
+        stats.expression_candidates,
+        stats.memo_hits,
+        stats.statements_before,
+        stats.statements_after,
+        stats.expr_nodes_before,
+        stats.expr_nodes_after_statements,
+        stats.expr_nodes_after,
+    );
 
     let mut group = c.benchmark_group("reduction_attribution");
     group.sample_size(10);
@@ -198,6 +260,16 @@ fn bench_reduction_attribution(c: &mut Criterion) {
     });
     group.bench_function("replay_cache", |b| {
         b.iter(|| std::hint::black_box(reduce_and_attribute_cached(&detections, &profile)))
+    });
+    group.bench_function("hierarchical", |b| {
+        b.iter(|| {
+            std::hint::black_box(reduce_and_attribute_hierarchical(&detections, &profile, 1).0)
+        })
+    });
+    group.bench_function("hierarchical_parallel", |b| {
+        b.iter(|| {
+            std::hint::black_box(reduce_and_attribute_hierarchical(&detections, &profile, 4).0)
+        })
     });
     group.finish();
 }

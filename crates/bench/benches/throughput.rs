@@ -3,10 +3,14 @@
 //! evaluating the queries, not the tester.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lancer_core::oracle::ReproSpec;
 use lancer_core::{
-    ContainmentOracle, GenConfig, NorecOracle, SerializabilityOracle, StateGenerator,
+    reduce_hierarchical, ContainmentOracle, DifferentialJudge, GenConfig, NorecOracle,
+    ReduceOptions, ReplayCache, SerializabilityOracle, StateGenerator,
 };
 use lancer_engine::{BugProfile, Dialect, Engine};
+use lancer_sql::parse_script;
+use lancer_sql::value::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -109,10 +113,51 @@ fn bench_statement_execution(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_reduction_hier(c: &mut Criterion) {
+    // Reductions per second for the hierarchical reducer on a
+    // campaign-shaped detection (a Listing-1 partial-index repro buried
+    // in generated-log noise), at the reducer's three operating points:
+    // the PR-4 statement-only baseline, the full hierarchical pipeline,
+    // and the same pipeline with wave-parallel candidate evaluation.
+    let mut sql = String::from(
+        "CREATE TABLE t0(c0);
+         CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;
+         CREATE TABLE t1(c0 INT, c1 TEXT);",
+    );
+    for i in 0..16 {
+        sql.push_str(&format!("INSERT INTO t1(c0, c1) VALUES ({i}, 'x{i}');"));
+    }
+    sql.push_str(
+        "INSERT INTO t0(c0) VALUES (0), (1), (NULL);
+         SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1 AND t0.c0 IS NOT 2;",
+    );
+    let statements = parse_script(&sql).unwrap();
+    let repro = ReproSpec::MissingRow(vec![Value::Null]);
+    let profile = BugProfile::all_for(Dialect::Sqlite);
+    let mut group = c.benchmark_group("reduction_hier");
+    group.sample_size(10);
+    for (label, options) in [
+        ("statement_only", ReduceOptions::statement_only()),
+        ("hierarchical", ReduceOptions::default()),
+        ("hierarchical_4workers", ReduceOptions { workers: 4, ..ReduceOptions::default() }),
+    ] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &options, |b, options| {
+            b.iter(|| {
+                let mut cache = ReplayCache::new(Dialect::Sqlite);
+                let judge = DifferentialJudge::new(&mut cache, "containment", &profile, &repro);
+                let reduction = reduce_hierarchical(&statements, options, &judge);
+                std::hint::black_box(reduction.statements.len())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_state_generation, bench_containment_checks, bench_norec_checks,
-        bench_txn_checks, bench_statement_execution
+        bench_txn_checks, bench_statement_execution, bench_reduction_hier
 }
 criterion_main!(benches);

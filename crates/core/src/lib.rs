@@ -63,8 +63,11 @@ pub use oracle::{
     OracleReport, ReproSpec, RngStream, SerializabilityOracle, StateDigest, TlpOracle,
 };
 pub use qpg::{PlanCoverage, PlanGuide, QpgConfig};
-pub use reduce::{reduce_indices, reduce_statements, transactions_well_formed};
-pub use replay::{ReplayCache, ReplayCacheStats, ReplaySession};
+pub use reduce::{
+    reduce_hierarchical, reduce_indices, reduce_statements, transactions_well_formed,
+    CandidateJudge, FnJudge, ReduceOptions, Reduction, ReductionStats,
+};
+pub use replay::{DifferentialJudge, ReplayCache, ReplayCacheStats, ReplaySession, SharedReplay};
 pub use runner::{
     reproduces, Campaign, CampaignBuilder, CampaignReport, CampaignStats, Detection, FoundBug,
 };

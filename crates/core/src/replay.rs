@@ -28,6 +28,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::{self, Write as _};
+use std::sync::{Arc, Mutex};
 
 use lancer_engine::{BugProfile, Dialect, Engine};
 use lancer_sql::ast::stmt::Statement;
@@ -36,13 +37,19 @@ use crate::oracle::{
     committed_units, norec_sum, partition_union, row_multiset, serial_orders_match, state_digest,
     ErrorOracle, ReproSpec,
 };
+use crate::reduce::CandidateJudge;
 
 /// Memoized engine snapshots keyed by fault profile and statement-log
 /// prefix, shared across every replay of a campaign's post-processing.
 #[derive(Debug)]
 pub struct ReplayCache {
     dialect: Dialect,
-    snapshots: HashMap<u64, Engine>,
+    /// Snapshots are held behind [`Arc`] so the locked `prepare` step
+    /// hands out a reference-count bump; the deep engine clone a resume
+    /// needs happens in the lock-free execute step, where parallel
+    /// reduction workers pay it concurrently instead of serialized on
+    /// the cache mutex.
+    snapshots: HashMap<u64, Arc<Engine>>,
     /// Prefixes walked once already.  A snapshot costs an engine clone, so
     /// one is only taken when a prefix *recurs* — cold prefixes (most of a
     /// one-shot replay) never pay it, recurring ones (shared generation
@@ -148,7 +155,7 @@ impl ReplayCache {
     /// The shared replay core: `stmts[..len-1]` is the setup (replayed
     /// through the snapshot cache), the last statement is the trigger
     /// checked against the repro spec.
-    fn reproduces_refs(
+    pub(crate) fn reproduces_refs(
         &mut self,
         oracle: &str,
         profile: &BugProfile,
@@ -159,44 +166,51 @@ impl ReplayCache {
         if stmts.is_empty() {
             return false;
         }
+        // The sequential path runs the same three steps the shared
+        // (mutexed) path runs, back to back — one code path, so the two
+        // can never diverge in verdicts or counters.
+        match self.prepare(oracle, profile, hashes, repro) {
+            ReplayLookup::Verdict(verdict) => verdict,
+            ReplayLookup::Run(prepared) => {
+                let outcome = execute_prepared(*prepared, stmts, repro);
+                self.commit(outcome)
+            }
+        }
+    }
+
+    /// The locked front half of a replay: answers from the verdict memo
+    /// when possible, otherwise resolves the deepest cached prefix
+    /// snapshot and records which upcoming prefixes already recurred (and
+    /// therefore deserve a snapshot).  Mutates only counters and reads the
+    /// cache, so it is cheap enough to hold a lock across.
+    fn prepare(
+        &mut self,
+        oracle: &str,
+        profile: &BugProfile,
+        hashes: &[u64],
+        repro: &ReproSpec,
+    ) -> ReplayLookup {
         let sequence_key =
             hashes.iter().fold(profile_key(self.dialect, profile), |key, h| combine(key, *h));
         let verdict_key = combine(combine(sequence_key, fnv1a_str(oracle)), repro_hash(repro));
         if let Some(&verdict) = self.verdicts.get(&verdict_key) {
             self.stats.verdict_hits += 1;
-            return verdict;
+            return ReplayLookup::Verdict(verdict);
         }
-        let setup = &stmts[..stmts.len() - 1];
-        let mut engine = self.engine_after(profile, setup, &hashes[..setup.len()]);
-        let verdict = confirms(&mut engine, setup, stmts[stmts.len() - 1], repro);
-        if self.verdicts.len() < self.max_snapshots * 16 {
-            self.verdicts.insert(verdict_key, verdict);
-        }
-        verdict
-    }
-
-    /// Returns an engine in the state reached by executing `setup` on a
-    /// fresh engine with `profile`, resuming from the deepest cached
-    /// prefix and snapshotting every new prefix along the way.
-    fn engine_after(
-        &mut self,
-        profile: &BugProfile,
-        setup: &[&Statement],
-        hashes: &[u64],
-    ) -> Engine {
+        let setup_len = hashes.len() - 1;
         // keys[i] identifies (profile, setup[..i]).
-        let mut keys = Vec::with_capacity(setup.len() + 1);
+        let mut keys = Vec::with_capacity(setup_len + 1);
         let mut key = profile_key(self.dialect, profile);
         keys.push(key);
-        for h in hashes {
+        for h in &hashes[..setup_len] {
             key = combine(key, *h);
             keys.push(key);
         }
         let mut start = 0;
-        let mut engine: Option<Engine> = None;
-        for i in (1..=setup.len()).rev() {
-            if let Some(snapshot) = self.snapshots.get(&keys[i]) {
-                engine = Some(snapshot.clone());
+        let mut snapshot: Option<Arc<Engine>> = None;
+        for i in (1..=setup_len).rev() {
+            if let Some(hit) = self.snapshots.get(&keys[i]) {
+                snapshot = Some(Arc::clone(hit));
                 start = i;
                 break;
             }
@@ -207,22 +221,220 @@ impl ReplayCache {
             self.stats.prefix_misses += 1;
         }
         self.stats.statements_skipped += start as u64;
-        let mut engine = engine.unwrap_or_else(|| Engine::with_bugs(self.dialect, profile.clone()));
-        for i in start..setup.len() {
-            // Setup statements may legitimately fail after reduction removed
-            // their prerequisites; keep going, mirroring SQLancer's reducer.
-            let _ = engine.execute(setup[i]);
-            self.stats.statements_replayed += 1;
-            let key = keys[i + 1];
-            if self.seen.contains(&key) {
-                if self.snapshots.len() < self.max_snapshots {
-                    self.snapshots.insert(key, engine.clone());
-                }
-            } else if self.seen.len() < self.max_snapshots * 16 {
+        // Only the Arc bump happens under the lock; the resume's deep
+        // engine clone (or fresh construction) is deferred to the
+        // lock-free execute step.
+        let resume = match snapshot {
+            Some(engine) => ResumePoint::Snapshot(engine),
+            None => ResumePoint::Fresh(self.dialect, Box::new(profile.clone())),
+        };
+        let recurring = (start..setup_len).map(|i| self.seen.contains(&keys[i + 1])).collect();
+        ReplayLookup::Run(Box::new(PreparedReplay { verdict_key, keys, start, resume, recurring }))
+    }
+
+    /// The locked back half of a replay: folds an executed candidate's
+    /// snapshots, seen-marks and verdict back into the cache, and returns
+    /// the verdict.  Insertions honour the same capacity bounds the
+    /// all-in-one walk enforced, in the same order.
+    fn commit(&mut self, outcome: ReplayOutcome) -> bool {
+        self.stats.statements_replayed += outcome.executed;
+        for (key, engine) in outcome.snapshots {
+            if self.snapshots.len() < self.max_snapshots {
+                self.snapshots.insert(key, engine);
+            }
+        }
+        for key in outcome.newly_seen {
+            if self.seen.len() < self.max_snapshots * 16 {
                 self.seen.insert(key);
             }
         }
-        engine
+        if self.verdicts.len() < self.max_snapshots * 16 {
+            self.verdicts.insert(outcome.verdict_key, outcome.verdict);
+        }
+        outcome.verdict
+    }
+}
+
+/// What [`ReplayCache::prepare`] resolved: either a memoized verdict or
+/// everything the lock-free execution step needs.
+enum ReplayLookup {
+    Verdict(bool),
+    Run(Box<PreparedReplay>),
+}
+
+/// A replay ready to execute without touching the cache: the resume
+/// point, the prefix keys of the candidate, and which positions already
+/// recurred (so execution knows where to take snapshots).
+struct PreparedReplay {
+    verdict_key: u64,
+    keys: Vec<u64>,
+    start: usize,
+    resume: ResumePoint,
+    recurring: Vec<bool>,
+}
+
+/// Where a prepared replay starts from: a shared snapshot (deep-cloned
+/// lock-free at execute time) or a fresh engine with the question's
+/// fault profile.
+enum ResumePoint {
+    Snapshot(Arc<Engine>),
+    Fresh(Dialect, Box<BugProfile>),
+}
+
+/// Everything a finished replay wants to write back under the lock.
+struct ReplayOutcome {
+    verdict: bool,
+    verdict_key: u64,
+    executed: u64,
+    snapshots: Vec<(u64, Arc<Engine>)>,
+    newly_seen: Vec<u64>,
+}
+
+/// The lock-free middle of a replay: executes the setup suffix from the
+/// prepared resume point, collects the snapshots the prepare step asked
+/// for, and judges the trigger.  Touches no shared state, so parallel
+/// reduction workers run it outside the cache mutex.
+fn execute_prepared(
+    prepared: PreparedReplay,
+    stmts: &[&Statement],
+    repro: &ReproSpec,
+) -> ReplayOutcome {
+    let PreparedReplay { verdict_key, keys, start, resume, recurring } = prepared;
+    let mut engine = match resume {
+        ResumePoint::Snapshot(snapshot) => (*snapshot).clone(),
+        ResumePoint::Fresh(dialect, profile) => Engine::with_bugs(dialect, *profile),
+    };
+    let setup = &stmts[..stmts.len() - 1];
+    let mut snapshots = Vec::new();
+    let mut newly_seen = Vec::new();
+    for i in start..setup.len() {
+        // Setup statements may legitimately fail after reduction removed
+        // their prerequisites; keep going, mirroring SQLancer's reducer.
+        let _ = engine.execute(setup[i]);
+        let key = keys[i + 1];
+        // A snapshot costs an engine clone, so one is only taken when a
+        // prefix *recurs* — cold prefixes are merely marked seen.
+        if recurring[i - start] {
+            snapshots.push((key, Arc::new(engine.clone())));
+        } else {
+            newly_seen.push(key);
+        }
+    }
+    let executed = (setup.len() - start) as u64;
+    let verdict = confirms(&mut engine, setup, stmts[stmts.len() - 1], repro);
+    ReplayOutcome { verdict, verdict_key, executed, snapshots, newly_seen }
+}
+
+/// A [`ReplayCache`] behind a mutex, for the hierarchical reducer's
+/// worker pool.  Only the prepare and commit halves of a replay hold the
+/// lock; statement execution — the expensive part — runs lock-free, so
+/// workers evaluating one generation's candidates genuinely overlap.
+///
+/// Verdicts stay deterministic under any interleaving (a replay verdict
+/// is a pure function of profile, statements and repro spec; the cache
+/// only changes its cost).  The *work counters* are the one thing that
+/// can wobble with more than one worker: whether candidate B resumes
+/// from a snapshot candidate A inserted depends on commit order, so
+/// `prefix_hits`/`statements_replayed` are deterministic only at one
+/// worker.  Nothing output-facing reads them.
+#[derive(Debug)]
+pub struct SharedReplay<'a> {
+    inner: Mutex<&'a mut ReplayCache>,
+}
+
+impl<'a> SharedReplay<'a> {
+    /// Wraps a cache for shared use by reduction workers.
+    #[must_use]
+    pub fn new(cache: &'a mut ReplayCache) -> SharedReplay<'a> {
+        SharedReplay { inner: Mutex::new(cache) }
+    }
+
+    /// The cached repro check, callable through `&self` from any worker.
+    /// `hashes` must be the FNV statement hash of each statement in
+    /// `stmts`, in order (the hashes a [`ReplaySession`] computes).
+    #[must_use]
+    pub fn reproduces_refs(
+        &self,
+        oracle: &str,
+        profile: &BugProfile,
+        stmts: &[&Statement],
+        hashes: &[u64],
+        repro: &ReproSpec,
+    ) -> bool {
+        if stmts.is_empty() {
+            return false;
+        }
+        let lookup = {
+            let mut cache = self.inner.lock().expect("replay cache lock poisoned");
+            cache.prepare(oracle, profile, hashes, repro)
+        };
+        match lookup {
+            ReplayLookup::Verdict(verdict) => verdict,
+            ReplayLookup::Run(prepared) => {
+                let outcome = execute_prepared(*prepared, stmts, repro);
+                let mut cache = self.inner.lock().expect("replay cache lock poisoned");
+                cache.commit(outcome)
+            }
+        }
+    }
+}
+
+/// The campaign runner's reduction predicate as a [`CandidateJudge`]: a
+/// candidate "still fails" when it reproduces the detection under the
+/// fault profile **and** does not reproduce on a fault-free engine.  The
+/// differential check keeps reduction honest — a shrink that degrades
+/// the repro into a fault-independent failure (say a `WHERE` clause cut
+/// down until the query errors everywhere) reproduces in both profiles
+/// and is rejected.
+#[derive(Debug)]
+pub struct DifferentialJudge<'a> {
+    replay: SharedReplay<'a>,
+    oracle: &'a str,
+    profile: &'a BugProfile,
+    none: BugProfile,
+    required: Vec<BugProfile>,
+    repro: &'a ReproSpec,
+}
+
+impl<'a> DifferentialJudge<'a> {
+    /// Binds the judge to one detection's oracle, fault profile and repro
+    /// spec.
+    #[must_use]
+    pub fn new(
+        cache: &'a mut ReplayCache,
+        oracle: &'a str,
+        profile: &'a BugProfile,
+        repro: &'a ReproSpec,
+    ) -> DifferentialJudge<'a> {
+        DifferentialJudge {
+            replay: SharedReplay::new(cache),
+            oracle,
+            profile,
+            none: BugProfile::none(),
+            required: Vec::new(),
+            repro,
+        }
+    }
+
+    /// Additionally requires candidates to keep reproducing under
+    /// `profile`.  The campaign runner pins every attributed single-fault
+    /// profile this way before the expression pass, so a shrink can never
+    /// silently change which bugs a reduced repro witnesses.
+    #[must_use]
+    pub fn require(mut self, profile: BugProfile) -> Self {
+        self.required.push(profile);
+        self
+    }
+}
+
+impl CandidateJudge for DifferentialJudge<'_> {
+    fn still_fails(&self, stmts: &[&Statement], hashes: &[u64]) -> bool {
+        self.replay.reproduces_refs(self.oracle, self.profile, stmts, hashes, self.repro)
+            && !self.replay.reproduces_refs(self.oracle, &self.none, stmts, hashes, self.repro)
+            && self
+                .required
+                .iter()
+                .all(|p| self.replay.reproduces_refs(self.oracle, p, stmts, hashes, self.repro))
     }
 }
 
@@ -365,7 +577,7 @@ pub(crate) fn confirms(
 
 /// FNV-1a over a statement's SQL rendering, computed without allocating
 /// the string (a `fmt::Write` sink hashes the fragments as they stream).
-fn statement_hash(stmt: &Statement) -> u64 {
+pub(crate) fn statement_hash(stmt: &Statement) -> u64 {
     let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
     let _ = write!(w, "{stmt}");
     w.0
@@ -434,7 +646,7 @@ fn profile_key(dialect: Dialect, profile: &BugProfile) -> u64 {
 /// Order-dependent 64-bit hash combinator with a strong finalizer, so
 /// prefix keys of different logs (and different profiles) collide only
 /// with negligible probability.
-fn combine(key: u64, value: u64) -> u64 {
+pub(crate) fn combine(key: u64, value: u64) -> u64 {
     splitmix(key ^ value.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(key << 6))
 }
 

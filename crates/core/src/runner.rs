@@ -40,8 +40,8 @@ use serde::{Deserialize, Serialize};
 use crate::gen::{GenConfig, StateGenerator};
 use crate::oracle::{Cadence, Oracle, OracleCtx, OracleRegistry, ReproSpec, RngStream};
 use crate::qpg::{PlanCoverage, PlanGuide, QpgConfig};
-use crate::reduce::{reduce_indices, transactions_well_formed};
-use crate::replay::{ReplayCache, ReplaySession};
+use crate::reduce::{reduce_hierarchical, ReduceOptions, ReductionStats};
+use crate::replay::{DifferentialJudge, ReplayCache, ReplaySession};
 
 pub use crate::oracle::DetectionKind;
 
@@ -150,6 +150,7 @@ pub struct CampaignBuilder {
     plan_observation: bool,
     qpg: QpgConfig,
     multi_session: bool,
+    reduction: Option<ReduceOptions>,
 }
 
 impl CampaignBuilder {
@@ -168,6 +169,7 @@ impl CampaignBuilder {
             plan_observation: false,
             qpg: QpgConfig::default(),
             multi_session: false,
+            reduction: None,
         }
     }
 
@@ -279,6 +281,19 @@ impl CampaignBuilder {
         self
     }
 
+    /// Overrides the hierarchical reducer's configuration (phases and
+    /// worker count).  By default every phase runs and the candidate-
+    /// evaluation worker count follows [`threads`](CampaignBuilder::threads);
+    /// the reduced repros are bit-identical at any worker count, so this
+    /// knob only trades wall-clock for cores — or, with
+    /// [`ReduceOptions::statement_only`], recovers the PR-4-era
+    /// statement-level reducer for before/after comparisons.
+    #[must_use]
+    pub fn reduction(mut self, options: ReduceOptions) -> Self {
+        self.reduction = Some(options);
+        self
+    }
+
     /// Replaces the oracle registry used to resolve
     /// [`oracle`](CampaignBuilder::oracle) names.
     #[must_use]
@@ -359,6 +374,7 @@ impl CampaignBuilder {
             plan_observation,
             qpg,
             multi_session,
+            reduction,
         } = self;
         let specs = if oracles.is_empty() {
             // The classic PQS pair, in the order the original runner used
@@ -394,6 +410,7 @@ impl CampaignBuilder {
             plan_observation,
             qpg,
             multi_session,
+            reduction,
         }
     }
 
@@ -418,6 +435,7 @@ pub struct Campaign {
     plan_observation: bool,
     qpg: QpgConfig,
     multi_session: bool,
+    reduction: Option<ReduceOptions>,
 }
 
 impl fmt::Debug for Campaign {
@@ -547,6 +565,19 @@ impl Campaign {
         let mut found: Vec<FoundBug> = Vec::new();
         let mut seen: BTreeMap<&'static str, BTreeSet<BugId>> = BTreeMap::new();
         let none = BugProfile::none();
+        // The hierarchical reducer's candidate-evaluation workers follow
+        // the campaign's thread count unless configured explicitly, but
+        // never exceed the hardware parallelism: wave evaluation overlaps
+        // candidate replays only when cores are actually available, and
+        // on a single-core host a pool is pure synchronization overhead.
+        // The reduced repros are bit-identical at any worker count, so
+        // this default only affects wall-clock, never output.
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let reduce_options = self.reduction.clone().unwrap_or(ReduceOptions {
+            workers: threads.min(hardware),
+            ..ReduceOptions::default()
+        });
+        let mut reduction_totals = ReductionStats::default();
         for detection in raw {
             let mut session =
                 ReplaySession::new(&mut cache, detection.oracle, &detection.statements);
@@ -567,18 +598,28 @@ impl Campaign {
             // still fail with the faults enabled *and* pass on the
             // fault-free engine.  Without the second condition the reducer
             // could drop the statements that make the pivot row exist in
-            // the first place.
-            // Candidates that orphan half of a BEGIN/COMMIT/ROLLBACK pair
-            // are rejected up front: reduced multi-session scripts keep
-            // transactions whole or drop them whole (trivially true for
-            // transaction-free logs).
-            let reduced_keep = reduce_indices(detection.statements.len(), &mut |keep| {
-                transactions_well_formed(keep.iter().map(|&i| &detection.statements[i]))
-                    && session.reproduces_subset(&profile, keep, &detection.repro)
-                    && !session.reproduces_subset(&none, keep, &detection.repro)
-            });
-            let reduced: Vec<&Statement> =
-                reduced_keep.iter().map(|&i| &detection.statements[i]).collect();
+            // the first place (or shrink an expression until the query
+            // fails everywhere).  Candidates that orphan half of a
+            // BEGIN/COMMIT/ROLLBACK pair are rejected up front: reduced
+            // multi-session scripts keep transactions whole or drop them
+            // whole (trivially true for transaction-free logs).
+            let statement_stage = {
+                let judge = DifferentialJudge::new(
+                    &mut cache,
+                    detection.oracle,
+                    &profile,
+                    &detection.repro,
+                );
+                let options = ReduceOptions { expression_pass: false, ..reduce_options.clone() };
+                reduce_hierarchical(&detection.statements, &options, &judge)
+            };
+            let mut detection_stats = statement_stage.stats;
+            let statement_reduced = statement_stage.statements;
+            // Attribution runs over the statement-level reduction, before
+            // any expression rewriting: which bugs a detection witnesses
+            // must not depend on how aggressively its predicates are
+            // shrunk afterwards.
+            let mut session = ReplaySession::new(&mut cache, detection.oracle, &statement_reduced);
             let domain_seen = seen.entry(detection.kind().dedup_domain()).or_default();
             let mut attributed: Vec<BugId> = Vec::new();
             for bug in profile.iter() {
@@ -586,14 +627,48 @@ impl Campaign {
                     continue;
                 }
                 let single = BugProfile::with(&[bug]);
-                if session.reproduces_subset(&single, &reduced_keep, &detection.repro) {
+                if session.reproduces_all(&single, &detection.repro) {
                     attributed.push(bug);
                 }
             }
             if attributed.is_empty() {
+                reduction_totals.absorb(&detection_stats);
                 stats.unattributed += 1;
                 continue;
             }
+            // The expression pass then shrinks the surviving statements
+            // with every attributed single-fault profile pinned into the
+            // judge, so the final repro still witnesses each reported bug
+            // on its own.
+            let reduced = if reduce_options.expression_pass {
+                let expr_stage = {
+                    let mut judge = DifferentialJudge::new(
+                        &mut cache,
+                        detection.oracle,
+                        &profile,
+                        &detection.repro,
+                    );
+                    for &bug in &attributed {
+                        judge = judge.require(BugProfile::with(&[bug]));
+                    }
+                    let options = ReduceOptions {
+                        session_pass: false,
+                        statement_pass: false,
+                        expression_pass: true,
+                        workers: reduce_options.workers,
+                    };
+                    reduce_hierarchical(&statement_reduced, &options, &judge)
+                };
+                detection_stats.statement_candidates += expr_stage.stats.statement_candidates;
+                detection_stats.expression_candidates += expr_stage.stats.expression_candidates;
+                detection_stats.memo_hits += expr_stage.stats.memo_hits;
+                detection_stats.wall_ms += expr_stage.stats.wall_ms;
+                detection_stats.expr_nodes_after = expr_stage.stats.expr_nodes_after;
+                expr_stage.statements
+            } else {
+                statement_reduced
+            };
+            reduction_totals.absorb(&detection_stats);
             for bug in attributed {
                 domain_seen.insert(bug);
                 found.push(FoundBug {
@@ -610,7 +685,22 @@ impl Campaign {
         let replay = cache.stats();
         stats.replay_statements_executed = replay.statements_replayed;
         stats.replay_statements_skipped = replay.statements_skipped;
-        stats.replay_verdict_hits = replay.verdict_hits;
+        // Reducer-level memo hits are verdicts served without any replay,
+        // the same economy the replay cache's verdict memo provides one
+        // layer down — surface them in the same counter.
+        stats.replay_verdict_hits = replay.verdict_hits + reduction_totals.memo_hits;
+        stats.reduction_wall_ms = reduction_totals.wall_ms;
+        stats.reduction_candidates_evaluated = reduction_totals.candidates_evaluated();
+        stats.reduction_memo_hits = reduction_totals.memo_hits;
+        stats.reduction_session_candidates = reduction_totals.session_candidates;
+        stats.reduction_statement_candidates = reduction_totals.statement_candidates;
+        stats.reduction_expression_candidates = reduction_totals.expression_candidates;
+        stats.reduction_statements_before = reduction_totals.statements_before;
+        stats.reduction_statements_after_sessions = reduction_totals.statements_after_sessions;
+        stats.reduction_statements_after = reduction_totals.statements_after;
+        stats.reduction_expr_nodes_before = reduction_totals.expr_nodes_before;
+        stats.reduction_expr_nodes_after_statements = reduction_totals.expr_nodes_after_statements;
+        stats.reduction_expr_nodes_after = reduction_totals.expr_nodes_after;
 
         stats.elapsed_ms = started.elapsed().as_millis().max(1);
         stats.coverage_fraction = coverage.fraction();
@@ -827,8 +917,38 @@ pub struct CampaignStats {
     /// snapshot instead of re-executing.
     pub replay_statements_skipped: u64,
     /// Reduction/attribution replays answered entirely from the replay
-    /// cache's verdict memo (no statement executed at all).
+    /// cache's verdict memo (no statement executed at all), including
+    /// candidates the hierarchical reducer's per-reduction memo absorbed.
     pub replay_verdict_hits: u64,
+    /// Wall-clock spent inside the hierarchical reducer, in milliseconds,
+    /// summed over all detections.
+    pub reduction_wall_ms: u128,
+    /// Reduction candidates actually judged (replayed), across all phases
+    /// and detections.
+    pub reduction_candidates_evaluated: u64,
+    /// Reduction candidates answered from the per-reduction memo without
+    /// judging.
+    pub reduction_memo_hits: u64,
+    /// Candidates judged by the session/transaction-unit pass.
+    pub reduction_session_candidates: u64,
+    /// Candidates judged by statement-level ddmin.
+    pub reduction_statement_candidates: u64,
+    /// Candidates judged by the expression-level shrink pass.
+    pub reduction_expression_candidates: u64,
+    /// Statements entering reduction, summed over all reduced detections.
+    pub reduction_statements_before: u64,
+    /// Statements surviving the session/transaction-unit pass.
+    pub reduction_statements_after_sessions: u64,
+    /// Statements surviving statement-level ddmin (the expression pass
+    /// never changes statement counts).
+    pub reduction_statements_after: u64,
+    /// Expression nodes entering reduction.
+    pub reduction_expr_nodes_before: u64,
+    /// Expression nodes after statement-level ddmin, before the
+    /// expression pass.
+    pub reduction_expr_nodes_after_statements: u64,
+    /// Expression nodes in the reduced repros.
+    pub reduction_expr_nodes_after: u64,
     /// Wall-clock duration in milliseconds.
     pub elapsed_ms: u128,
     /// Feature-coverage fraction reached on the engine (Table 4 analogue).
@@ -1073,6 +1193,7 @@ pub fn reproduces(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reduce::transactions_well_formed;
     use lancer_sql::value::Value;
 
     fn quick_campaign(dialect: Dialect) -> CampaignBuilder {

@@ -224,11 +224,16 @@ impl Engine {
         // Statements are atomic: a failing statement leaves the database
         // unchanged (multi-row INSERTs in particular must not be partially
         // applied), matching the real DBMS and keeping generated statement
-        // logs replayable.
-        let snapshot = self.db.clone();
+        // logs replayable.  Read-only statements cannot touch the database
+        // at all, so they skip the snapshot — queries dominate oracle
+        // checks and reduction replays, and the clone is the bulk of their
+        // cost on larger databases.
+        let snapshot = if stmt.is_read_only() { None } else { Some(self.db.clone()) };
         let result = self.dispatch(stmt);
         if result.is_err() {
-            self.db = snapshot;
+            if let Some(snapshot) = snapshot {
+                self.db = snapshot;
+            }
         }
         if in_txn {
             self.swap_workspace();

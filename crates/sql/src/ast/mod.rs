@@ -2,10 +2,15 @@
 
 pub mod display;
 pub mod expr;
+pub mod shrink;
 pub mod stmt;
 
 pub use display::render_script;
 pub use expr::{AggFunc, BinaryOp, ColumnRef, Expr, ScalarFunc, TypeName, UnaryOp};
+pub use shrink::{
+    shrink_expr, shrink_query, shrink_select, shrink_statement, statement_expr_nodes,
+    statement_weight,
+};
 pub use stmt::{
     AlterTable, ColumnConstraint, ColumnDef, CompoundOp, CreateIndex, CreateTable, Delete,
     IndexedColumn, Insert, Join, JoinKind, OnConflict, OrderingTerm, Query, Select, SelectItem,

@@ -1,20 +1,26 @@
 //! Demonstrate automatic test-case reduction (§4.1): start from a long
 //! statement log that exposes the skip-scan/DISTINCT fault (Listing 6
 //! family) and shrink it to the handful of statements the paper would put in
-//! a bug report.
+//! a bug report — first with plain statement-level delta debugging, then
+//! with the full hierarchical reducer, whose expression pass also strips
+//! the query's redundant predicate.
 //!
 //! ```sh
 //! cargo run --example reduce_testcase
 //! ```
 
-use lancer_core::{reduce_statements, runner::reproduces, ReproSpec};
+use lancer_core::{
+    reduce_hierarchical, reduce_statements, runner::reproduces, DifferentialJudge, ReduceOptions,
+    ReplayCache, ReproSpec,
+};
 use lancer_engine::{BugId, BugProfile, Dialect};
 use lancer_sql::parse_script;
 use lancer_sql::value::Value;
 
 fn main() {
     // A deliberately noisy reproduction script: only a few statements are
-    // actually needed to trigger the fault.
+    // actually needed to trigger the fault, and the trigger query itself
+    // carries a WHERE clause that has nothing to do with it.
     let script = "
         CREATE TABLE t1 (c1, c2, c3, c4, PRIMARY KEY (c4, c3));
         CREATE TABLE noise0(c0 INT);
@@ -24,7 +30,7 @@ fn main() {
         UPDATE noise0 SET c0 = 9;
         ANALYZE t1;
         DELETE FROM noise0 WHERE c0 = 9;
-        SELECT DISTINCT c3, c4 FROM t1;
+        SELECT DISTINCT c3, c4 FROM t1 WHERE c3 < 10 AND c4 IS NOT NULL;
     ";
     let statements = parse_script(script).expect("script parses");
     let profile = BugProfile::with(&[BugId::SqliteSkipScanDistinct]);
@@ -45,11 +51,34 @@ fn main() {
 
     let reduced = reduce_statements(&statements, &fails);
     println!("original test case: {} statements", statements.len());
-    println!("reduced  test case: {} statements", reduced.len());
+    println!("statement-level ddmin: {} statements", reduced.len());
+    assert!(reduced.len() < statements.len());
+
+    // The hierarchical reducer runs the same ddmin through the replay
+    // cache and then shrinks the surviving statements in place; its
+    // expression pass discovers that the WHERE clause is irrelevant to
+    // the fault and drops it, re-verifying the repro after every rewrite.
+    let mut cache = ReplayCache::new(Dialect::Sqlite);
+    let reduction = {
+        let judge = DifferentialJudge::new(&mut cache, "containment", &profile, &repro);
+        reduce_hierarchical(&statements, &ReduceOptions::default(), &judge)
+    };
+    println!(
+        "hierarchical: {} statements, expression nodes {} -> {} ({} candidates judged)",
+        reduction.statements.len(),
+        reduction.stats.expr_nodes_after_statements,
+        reduction.stats.expr_nodes_after,
+        reduction.stats.candidates_evaluated(),
+    );
     println!("\n-- reduced reproduction (what the bug report would contain) --");
-    for stmt in &reduced {
+    for stmt in &reduction.statements {
         println!("{stmt};");
     }
     println!("-- expected: row (0, 3) is fetched; actual: it is missing --");
-    assert!(reduced.len() < statements.len());
+    assert!(reduction.statements.len() <= reduced.len());
+    assert!(
+        reduction.stats.expr_nodes_after < reduction.stats.expr_nodes_after_statements,
+        "the expression pass must strip the redundant predicate"
+    );
+    assert!(fails(&reduction.statements), "the shrunk script still reproduces the fault");
 }
