@@ -154,10 +154,54 @@ fn bench_reduction_hier(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_replay_resume(c: &mut Criterion) {
+    // Replays per second when the replay cache resumes from a cached
+    // prefix snapshot — the candidate-evaluation hot path of reduction
+    // and attribution.  The generated database is deliberately larger
+    // than the unit-test configs (reduction earns its keep on big logs),
+    // and the trigger is a cheap filtered probe, so the measurement is
+    // dominated by the resume itself: clone the snapshot, execute the
+    // trigger, judge it.  The cache is pre-walked until the deepest
+    // setup prefix has a snapshot; each iteration then asks about a
+    // repro it has never seen (a fresh MissingRow), so the verdict memo
+    // misses and the resume really runs.
+    let gen = GenConfig { min_rows: 150, max_rows: 250, ..GenConfig::default() };
+    let mut group = c.benchmark_group("replay_resume");
+    for dialect in Dialect::ALL {
+        let mut rng = StdRng::seed_from_u64(4);
+        let profile = BugProfile::all_for(dialect);
+        let mut engine = Engine::with_bugs(dialect, profile.clone());
+        let mut generator = StateGenerator::new(dialect, gen.clone());
+        let (mut log, _) = generator.generate_database(&mut rng, &mut engine);
+        let table = engine.database().table_names().into_iter().next().expect("generated table");
+        log.extend(parse_script(&format!("SELECT * FROM {table} WHERE 1 = 2")).unwrap());
+        let mut cache = ReplayCache::new(dialect);
+        // Bind the log once (statements hashed once), the way the
+        // reducer does, and pre-walk: the first walk marks the prefix,
+        // the second snapshots it, the third confirms the resume path
+        // is warm.
+        let mut session = lancer_core::ReplaySession::new(&mut cache, "containment", &log);
+        for _ in 0..3 {
+            let _ =
+                session.reproduces_all(&profile, &ReproSpec::MissingRow(vec![Value::Integer(-1)]));
+        }
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(dialect.name()), &dialect, |b, _| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                let repro = ReproSpec::MissingRow(vec![Value::Integer(10_000 + i)]);
+                std::hint::black_box(session.reproduces_all(&profile, &repro))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_state_generation, bench_containment_checks, bench_norec_checks,
-        bench_txn_checks, bench_statement_execution, bench_reduction_hier
+        bench_txn_checks, bench_statement_execution, bench_reduction_hier, bench_replay_resume
 }
 criterion_main!(benches);

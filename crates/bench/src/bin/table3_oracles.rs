@@ -98,5 +98,24 @@ fn main() {
             );
         }
     }
+    if opts.txn {
+        println!("\nReplay-cache effectiveness (reduction + attribution replays, per dialect):");
+        for dialect in Dialect::ALL {
+            let s = &reports[&dialect].stats;
+            println!(
+                "  {}: {} prefix hit(s), {} snapshot(s) taken ({} evicted), {} verdict memo \
+                 hit(s); {} stmt(s) replayed, {} skipped; {} CoW table cop(ies), {} rewind(s)",
+                dialect.name(),
+                s.replay_prefix_hits,
+                s.replay_snapshots_taken,
+                s.replay_snapshot_evictions,
+                s.replay_verdict_hits,
+                s.replay_statements_executed,
+                s.replay_statements_skipped,
+                s.cow_table_copies,
+                s.workspace_rewinds
+            );
+        }
+    }
     dump_json("table3", &reports);
 }

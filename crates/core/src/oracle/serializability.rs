@@ -154,12 +154,17 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 }
 
 /// Checks whether `actual` equals the final state of *some* serial order
-/// of the episode's committed units: for each permutation, a fresh engine
-/// with the same fault profile replays the prefix and then the units
-/// back to back — no transaction control, so the faulty commit/rollback
-/// paths never run — and digests the result.  Returns whether any order
-/// matched and how many orders were replayed.  Episodes with more than 4
-/// committed units are conservatively reported serializable.
+/// of the episode's committed units: one engine with the same fault
+/// profile replays the prefix once, snapshots the workspace, then for
+/// each permutation replays the units back to back — no transaction
+/// control, so the faulty commit/rollback paths never run — digests the
+/// result and rewinds to the snapshot.  Replaying via
+/// [`Engine::execute_at`] presents each permutation with the exact
+/// statement-counter sequence a fresh engine would see, so counter-keyed
+/// faults fire identically while the prefix (usually the bulk of the
+/// episode) executes only once.  Returns whether any order matched and
+/// how many orders were replayed.  Episodes with more than 4 committed
+/// units are conservatively reported serializable.
 #[must_use]
 pub fn serial_orders_match(
     dialect: Dialect,
@@ -170,21 +175,26 @@ pub fn serial_orders_match(
     if episode.committed.len() > 4 {
         return (true, 0);
     }
+    let mut engine = Engine::with_bugs(dialect, bugs.clone());
+    for stmt in &episode.prefix {
+        let _ = engine.execute(stmt);
+    }
+    let base = engine.statements_executed();
+    let start = engine.workspace_snapshot();
     let mut tried = 0;
     for order in permutations(episode.committed.len()) {
         tried += 1;
-        let mut engine = Engine::with_bugs(dialect, bugs.clone());
-        for stmt in &episode.prefix {
-            let _ = engine.execute(stmt);
-        }
+        let mut ordinal = base;
         for unit in order {
             for stmt in &episode.committed[unit] {
-                let _ = engine.execute(stmt);
+                let _ = engine.execute_at(ordinal, stmt);
+                ordinal += 1;
             }
         }
         if state_digest(&engine) == *actual {
             return (true, tried);
         }
+        engine.rewind_to(&start);
     }
     (false, tried)
 }

@@ -12,10 +12,13 @@
 //! [`ReplayCache`] memoizes engine snapshots keyed by *(fault profile,
 //! statement-log prefix)*: a replay walks the deepest cached prefix of
 //! its candidate, clones that snapshot, and executes only the suffix.
-//! [`ReplaySession`] binds the cache to one detection's parsed statement
-//! log, hashing each statement exactly once — candidates are index
-//! subsets, so reduction never re-renders, re-parses or re-clones a
-//! statement.
+//! The clone is copy-on-write (`lancer-storage` shares tables
+//! structurally), so resuming costs reference-count bumps; the resumed
+//! candidate deep-copies only the tables its suffix actually writes,
+//! never the whole database.  [`ReplaySession`] binds the cache to one
+//! detection's parsed statement log, hashing each statement exactly once
+//! — candidates are index subsets, so reduction never re-renders,
+//! re-parses or re-clones a statement.
 //!
 //! Correctness is bit-for-bit: an engine snapshot taken after executing a
 //! prefix on a fresh engine *is* the state a full replay would reach
@@ -45,16 +48,17 @@ use crate::reduce::CandidateJudge;
 pub struct ReplayCache {
     dialect: Dialect,
     /// Snapshots are held behind [`Arc`] so the locked `prepare` step
-    /// hands out a reference-count bump; the deep engine clone a resume
-    /// needs happens in the lock-free execute step, where parallel
-    /// reduction workers pay it concurrently instead of serialized on
-    /// the cache mutex.
+    /// hands out a reference-count bump; the resume's engine clone —
+    /// itself copy-on-write pointer work — happens in the lock-free
+    /// execute step, so parallel reduction workers share one snapshot's
+    /// tables structurally without serializing on the cache mutex.
     snapshots: HashMap<u64, Arc<Engine>>,
-    /// Prefixes walked once already.  A snapshot costs an engine clone, so
-    /// one is only taken when a prefix *recurs* — cold prefixes (most of a
-    /// one-shot replay) never pay it, recurring ones (shared generation
-    /// logs, surviving reduction candidates) pay it once and then serve
-    /// every later replay.
+    /// Prefixes walked once already.  A snapshot is cheap to take (CoW)
+    /// but holding one pins the prefix's tables, keeping later mutations
+    /// on the unshare path — so one is only taken when a prefix *recurs*:
+    /// cold prefixes (most of a one-shot replay) stay unpinned, recurring
+    /// ones (shared generation logs, surviving reduction candidates) pay
+    /// once and then serve every later replay.
     seen: HashSet<u64>,
     /// Memoized verdicts keyed by (oracle name, profile, full statement
     /// sequence, repro spec).  Delta debugging re-tries the same candidate
@@ -85,6 +89,10 @@ pub struct ReplayCacheStats {
     pub statements_replayed: u64,
     /// Setup statements skipped because a snapshot already covered them.
     pub statements_skipped: u64,
+    /// Prefix snapshots retained in the cache.
+    pub snapshots_taken: u64,
+    /// Prefix snapshots dropped because the cache was at capacity.
+    pub snapshots_evicted: u64,
 }
 
 impl ReplayCache {
@@ -221,7 +229,7 @@ impl ReplayCache {
             self.stats.prefix_misses += 1;
         }
         self.stats.statements_skipped += start as u64;
-        // Only the Arc bump happens under the lock; the resume's deep
+        // Only the Arc bump happens under the lock; the resume's CoW
         // engine clone (or fresh construction) is deferred to the
         // lock-free execute step.
         let resume = match snapshot {
@@ -240,7 +248,10 @@ impl ReplayCache {
         self.stats.statements_replayed += outcome.executed;
         for (key, engine) in outcome.snapshots {
             if self.snapshots.len() < self.max_snapshots {
+                self.stats.snapshots_taken += 1;
                 self.snapshots.insert(key, engine);
+            } else {
+                self.stats.snapshots_evicted += 1;
             }
         }
         for key in outcome.newly_seen {
@@ -273,7 +284,7 @@ struct PreparedReplay {
     recurring: Vec<bool>,
 }
 
-/// Where a prepared replay starts from: a shared snapshot (deep-cloned
+/// Where a prepared replay starts from: a shared snapshot (CoW-cloned
 /// lock-free at execute time) or a fresh engine with the question's
 /// fault profile.
 enum ResumePoint {
@@ -312,8 +323,8 @@ fn execute_prepared(
         // their prerequisites; keep going, mirroring SQLancer's reducer.
         let _ = engine.execute(setup[i]);
         let key = keys[i + 1];
-        // A snapshot costs an engine clone, so one is only taken when a
-        // prefix *recurs* — cold prefixes are merely marked seen.
+        // A snapshot is only taken when a prefix *recurs* — cold
+        // prefixes are merely marked seen (see the `seen` field).
         if recurring[i - start] {
             snapshots.push((key, Arc::new(engine.clone())));
         } else {

@@ -515,6 +515,9 @@ impl Campaign {
             stats.norec_violations += s.norec_violations;
             stats.serializability_violations += s.serializability_violations;
             stats.plan_mutations += s.plan_mutations;
+            stats.cow_table_copies += s.cow_table_copies;
+            stats.cow_row_block_copies += s.cow_row_block_copies;
+            stats.workspace_rewinds += s.workspace_rewinds;
             // The earliest point (in per-query checks) at which *any*
             // worker raised its first detection — the "checks until first
             // finding" bug-finding-speed metric `table_qpg` reports.
@@ -562,6 +565,11 @@ impl Campaign {
         // generated database share their whole generation log).  Verdicts
         // are bit-identical to fresh replays; only the cost changes.
         let mut cache = ReplayCache::new(self.dialect);
+        // Copy-on-write and rewind counters are cumulative thread-locals;
+        // sample them around the post-processing loop so the runner's own
+        // replay work is attributed alongside the workers' deltas.
+        let cow_before = lancer_storage::cow_stats();
+        let rewinds_before = lancer_engine::workspace_rewinds();
         let mut found: Vec<FoundBug> = Vec::new();
         let mut seen: BTreeMap<&'static str, BTreeSet<BugId>> = BTreeMap::new();
         let none = BugProfile::none();
@@ -682,9 +690,16 @@ impl Campaign {
                 });
             }
         }
+        let cow = lancer_storage::cow_stats().since(cow_before);
+        stats.cow_table_copies += cow.table_copies;
+        stats.cow_row_block_copies += cow.row_block_copies;
+        stats.workspace_rewinds += lancer_engine::workspace_rewinds() - rewinds_before;
         let replay = cache.stats();
         stats.replay_statements_executed = replay.statements_replayed;
         stats.replay_statements_skipped = replay.statements_skipped;
+        stats.replay_prefix_hits = replay.prefix_hits;
+        stats.replay_snapshots_taken = replay.snapshots_taken;
+        stats.replay_snapshot_evictions = replay.snapshots_evicted;
         // Reducer-level memo hits are verdicts served without any replay,
         // the same economy the replay cache's verdict memo provides one
         // layer down — surface them in the same counter.
@@ -760,6 +775,8 @@ impl Campaign {
         let mut detections = Vec::new();
         let mut stats = CampaignStats::default();
         let mut coverage = lancer_engine::Coverage::new();
+        let cow_before = lancer_storage::cow_stats();
+        let rewinds_before = lancer_engine::workspace_rewinds();
         for _ in 0..databases {
             let mut engine = Engine::with_bugs(self.dialect, profile.clone());
             let mut generator = StateGenerator::new(self.dialect, self.gen.clone());
@@ -847,6 +864,10 @@ impl Campaign {
             stats.statements_executed += engine.statements_executed();
             coverage.merge(engine.coverage());
         }
+        let cow = lancer_storage::cow_stats().since(cow_before);
+        stats.cow_table_copies = cow.table_copies;
+        stats.cow_row_block_copies = cow.row_block_copies;
+        stats.workspace_rewinds = lancer_engine::workspace_rewinds() - rewinds_before;
         let plan_coverage =
             guide.map(|(g, _, _)| g.coverage().clone()).unwrap_or_else(PlanCoverage::new);
         (detections, stats, coverage, plan_coverage)
@@ -920,6 +941,24 @@ pub struct CampaignStats {
     /// cache's verdict memo (no statement executed at all), including
     /// candidates the hierarchical reducer's per-reduction memo absorbed.
     pub replay_verdict_hits: u64,
+    /// Replays that resumed from a cached prefix snapshot instead of
+    /// building a fresh engine.
+    pub replay_prefix_hits: u64,
+    /// Prefix snapshots the replay cache retained.
+    pub replay_snapshots_taken: u64,
+    /// Prefix snapshots dropped because the replay cache was at capacity.
+    pub replay_snapshot_evictions: u64,
+    /// Shared tables deep-copied on first write — the copy-on-write
+    /// storage's unshare count across generation, oracle checks and
+    /// post-processing replays (worker threads and the runner's thread;
+    /// reduction pool threads keep their own counts).
+    pub cow_table_copies: u64,
+    /// Shared row blocks deep-copied on first row write (the O(rows) cost
+    /// a snapshot defers until a statement actually writes the table).
+    pub cow_row_block_copies: u64,
+    /// Workspace rewinds ([`lancer_engine::Engine::rewind_to`] resumes,
+    /// chiefly the serializability oracle's permutation search).
+    pub workspace_rewinds: u64,
     /// Wall-clock spent inside the hierarchical reducer, in milliseconds,
     /// summed over all detections.
     pub reduction_wall_ms: u128,

@@ -9,6 +9,7 @@
 //! does the generated workload exercise".
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -94,9 +95,13 @@ pub const ALL_FEATURES: &[&str] = &[
 ];
 
 /// Records which feature points have executed.
+///
+/// The hit set lives behind an [`Arc`] so engine snapshots share it; a
+/// coverage set saturates quickly, after which clones and repeat hits are
+/// both free.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Coverage {
-    hit: BTreeSet<String>,
+    hit: Arc<BTreeSet<String>>,
 }
 
 impl Coverage {
@@ -109,7 +114,11 @@ impl Coverage {
     /// Marks a feature point as executed.
     pub fn hit(&mut self, feature: &str) {
         debug_assert!(ALL_FEATURES.contains(&feature), "unregistered coverage feature: {feature}");
-        self.hit.insert(feature.to_owned());
+        // Repeat hits (the overwhelmingly common case) must not unshare a
+        // set a snapshot still holds.
+        if !self.hit.contains(feature) {
+            Arc::make_mut(&mut self.hit).insert(feature.to_owned());
+        }
     }
 
     /// Number of distinct feature points executed.
@@ -138,8 +147,16 @@ impl Coverage {
 
     /// Merges another coverage record into this one.
     pub fn merge(&mut self, other: &Coverage) {
-        for f in &other.hit {
-            self.hit.insert(f.clone());
+        if Arc::ptr_eq(&self.hit, &other.hit) || other.hit.is_subset(&self.hit) {
+            return;
+        }
+        if self.hit.is_empty() {
+            self.hit = Arc::clone(&other.hit);
+            return;
+        }
+        let hit = Arc::make_mut(&mut self.hit);
+        for f in other.hit.iter() {
+            hit.insert(f.clone());
         }
     }
 }

@@ -51,6 +51,42 @@ impl QueryResult {
     }
 }
 
+/// A snapshot of the engine's mutable workspace: the database plus the
+/// session-state bookkeeping that statements read (analyzed tables,
+/// statistics objects, poisoned columns, the LIKE pragma latch, SERIAL
+/// counters).
+///
+/// Because the database is structurally shared ([`Database::clone`] bumps
+/// reference counts; tables deep-copy only on first write), taking a
+/// snapshot is O(tables) pointer work, not O(rows).  The same struct backs
+/// the per-statement atomicity snapshot, `BEGIN`'s private transaction
+/// workspace, and [`Engine::rewind_to`]'s replay resume.
+///
+/// The statement counter is deliberately *not* part of the snapshot: it is
+/// engine-global (fault injection keys on statement ordinals, and a rewind
+/// must not make the engine forget how many statements it has seen).  Use
+/// [`Engine::execute_at`] to replay at an explicit ordinal.
+#[derive(Debug, Clone)]
+pub struct WorkspaceSnapshot {
+    db: Database,
+    analyzed: BTreeSet<String>,
+    statistics: BTreeSet<String>,
+    poisoned_columns: Vec<(String, String, String)>,
+    like_pragma_changed: bool,
+    serial_counters: BTreeMap<(String, String), i64>,
+}
+
+thread_local! {
+    static WORKSPACE_REWINDS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Cumulative [`Engine::rewind_to`] count for the current thread
+/// (campaign reports sample deltas around replay-heavy work).
+#[must_use]
+pub fn workspace_rewinds() -> u64 {
+    WORKSPACE_REWINDS.with(std::cell::Cell::get)
+}
+
 /// Per-session transaction state: a private copy-on-write snapshot of the
 /// mutable engine workspace taken at `BEGIN`, plus the log of statements
 /// the transaction has applied to it.  `COMMIT` publishes by replaying the
@@ -58,12 +94,7 @@ impl QueryResult {
 /// of clobbering each other); `ROLLBACK` simply discards the snapshot.
 #[derive(Debug, Clone)]
 struct TxnState {
-    db: Database,
-    analyzed: BTreeSet<String>,
-    statistics: BTreeSet<String>,
-    poisoned_columns: Vec<(String, String, String)>,
-    like_pragma_changed: bool,
-    serial_counters: BTreeMap<(String, String), i64>,
+    workspace: WorkspaceSnapshot,
     log: Vec<Statement>,
 }
 
@@ -225,14 +256,17 @@ impl Engine {
         // unchanged (multi-row INSERTs in particular must not be partially
         // applied), matching the real DBMS and keeping generated statement
         // logs replayable.  Read-only statements cannot touch the database
-        // at all, so they skip the snapshot — queries dominate oracle
-        // checks and reduction replays, and the clone is the bulk of their
-        // cost on larger databases.
-        let snapshot = if stmt.is_read_only() { None } else { Some(self.db.clone()) };
+        // at all, so they skip the snapshot; for mutating statements the
+        // snapshot is reference-count bumps (copy-on-write), so the cost
+        // moved from O(database) to O(tables the statement writes).
+        // Session bookkeeping outside the database — SERIAL counters in
+        // particular — deliberately survives the failure, like sequence
+        // advances in a real DBMS.
+        let snapshot = if stmt.is_read_only() { None } else { Some(self.workspace_snapshot()) };
         let result = self.dispatch(stmt);
         if result.is_err() {
             if let Some(snapshot) = snapshot {
-                self.db = snapshot;
+                self.db = snapshot.db;
             }
         }
         if in_txn {
@@ -264,17 +298,74 @@ impl Engine {
         self.txns.contains_key(&session)
     }
 
+    /// Takes a copy-on-write snapshot of the mutable workspace.  Cheap:
+    /// the database shares its tables structurally, so this is
+    /// reference-count bumps plus clones of the small session-state sets.
+    #[must_use]
+    pub fn workspace_snapshot(&self) -> WorkspaceSnapshot {
+        WorkspaceSnapshot {
+            db: self.db.clone(),
+            analyzed: self.analyzed.clone(),
+            statistics: self.statistics.clone(),
+            poisoned_columns: self.poisoned_columns.clone(),
+            like_pragma_changed: self.like_pragma_changed,
+            serial_counters: self.serial_counters.clone(),
+        }
+    }
+
+    /// Rewinds the mutable workspace to an earlier snapshot, leaving the
+    /// statement counter, coverage, sessions and open transactions
+    /// untouched.  The snapshot stays usable: replay loops rewind to the
+    /// same snapshot once per candidate.
+    pub fn rewind_to(&mut self, snapshot: &WorkspaceSnapshot) {
+        WORKSPACE_REWINDS.with(|c| c.set(c.get() + 1));
+        self.restore_workspace(snapshot.clone());
+    }
+
+    /// Installs a workspace by value (rewind without the counter bump —
+    /// used by `COMMIT` under the lost-update fault).
+    fn restore_workspace(&mut self, snapshot: WorkspaceSnapshot) {
+        self.db = snapshot.db;
+        self.analyzed = snapshot.analyzed;
+        self.statistics = snapshot.statistics;
+        self.poisoned_columns = snapshot.poisoned_columns;
+        self.like_pragma_changed = snapshot.like_pragma_changed;
+        self.serial_counters = snapshot.serial_counters;
+    }
+
+    /// Executes a statement *as if* it were the engine's `ordinal`-th
+    /// statement (0-based), then restores the statement counter.
+    ///
+    /// Fault injection keys on statement ordinals (the "nondeterministic"
+    /// `SET` failure fires on even counts), so a replay that resumes from
+    /// a snapshot — or re-runs the same suffix repeatedly, as the
+    /// serializability oracle's permutation search does — must present the
+    /// same counter sequence a fresh engine would.  Combined with
+    /// [`Engine::rewind_to`] this makes re-running a suffix free of both
+    /// the engine rebuild and the counter drift.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::execute`].
+    pub fn execute_at(&mut self, ordinal: u64, stmt: &Statement) -> EngineResult<QueryResult> {
+        let saved = self.statements_executed;
+        self.statements_executed = ordinal;
+        let result = self.execute(stmt);
+        self.statements_executed = saved;
+        result
+    }
+
     /// Exchanges the shared workspace with the active session's private
     /// transaction workspace (the coverage recorder and statement counter
     /// stay engine-global).
     fn swap_workspace(&mut self) {
         let txn = self.txns.get_mut(&self.active_session).expect("open transaction");
-        std::mem::swap(&mut self.db, &mut txn.db);
-        std::mem::swap(&mut self.analyzed, &mut txn.analyzed);
-        std::mem::swap(&mut self.statistics, &mut txn.statistics);
-        std::mem::swap(&mut self.poisoned_columns, &mut txn.poisoned_columns);
-        std::mem::swap(&mut self.like_pragma_changed, &mut txn.like_pragma_changed);
-        std::mem::swap(&mut self.serial_counters, &mut txn.serial_counters);
+        std::mem::swap(&mut self.db, &mut txn.workspace.db);
+        std::mem::swap(&mut self.analyzed, &mut txn.workspace.analyzed);
+        std::mem::swap(&mut self.statistics, &mut txn.workspace.statistics);
+        std::mem::swap(&mut self.poisoned_columns, &mut txn.workspace.poisoned_columns);
+        std::mem::swap(&mut self.like_pragma_changed, &mut txn.workspace.like_pragma_changed);
+        std::mem::swap(&mut self.serial_counters, &mut txn.workspace.serial_counters);
     }
 
     fn exec_txn_control(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
@@ -300,15 +391,7 @@ impl Engine {
                     }));
                 }
                 self.cover("stmt.begin");
-                let txn = TxnState {
-                    db: self.db.clone(),
-                    analyzed: self.analyzed.clone(),
-                    statistics: self.statistics.clone(),
-                    poisoned_columns: self.poisoned_columns.clone(),
-                    like_pragma_changed: self.like_pragma_changed,
-                    serial_counters: self.serial_counters.clone(),
-                    log: Vec::new(),
-                };
+                let txn = TxnState { workspace: self.workspace_snapshot(), log: Vec::new() };
                 self.txns.insert(self.active_session, txn);
                 Ok(QueryResult::empty())
             }
@@ -328,12 +411,7 @@ impl Engine {
                     // Lost update: publish the private workspace wholesale,
                     // clobbering whatever other sessions committed since
                     // this transaction's BEGIN.
-                    self.db = txn.db;
-                    self.analyzed = txn.analyzed;
-                    self.statistics = txn.statistics;
-                    self.poisoned_columns = txn.poisoned_columns;
-                    self.like_pragma_changed = txn.like_pragma_changed;
-                    self.serial_counters = txn.serial_counters;
+                    self.restore_workspace(txn.workspace);
                     return Ok(QueryResult::empty());
                 }
                 let publish = if self.bugs.is_enabled(BugId::DuckdbCommitLaneAlignedPrefix) {
@@ -377,7 +455,7 @@ impl Engine {
                 if self.bugs.is_enabled(BugId::PostgresSerialCounterSurvivesRollback) {
                     // Sequence advances made inside the transaction survive
                     // the rollback, as real PostgreSQL sequences do.
-                    self.serial_counters = txn.serial_counters;
+                    self.serial_counters = txn.workspace.serial_counters;
                 }
                 Ok(QueryResult::empty())
             }

@@ -33,5 +33,5 @@ pub use dialect::Dialect;
 pub use error::{EngineError, EngineResult, ErrorClass};
 pub use eval::{Evaluator, RowSchema, SourceSchema};
 pub use exec::batch::RowBatch;
-pub use exec::{Engine, QueryResult, SessionHandle};
+pub use exec::{workspace_rewinds, Engine, QueryResult, SessionHandle, WorkspaceSnapshot};
 pub use plan::{PlanFingerprint, PlanNode, QueryPlan, ScanKind};

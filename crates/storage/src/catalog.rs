@@ -5,11 +5,13 @@
 //! `information_schema.tables` analogue described in §3.4 of the paper).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lancer_sql::ast::Select;
 use lancer_sql::value::Value;
 use serde::{Deserialize, Serialize};
 
+use crate::cow;
 use crate::error::{StorageError, StorageResult};
 use crate::index::{Index, IndexDef};
 use crate::schema::TableSchema;
@@ -25,12 +27,21 @@ pub struct View {
 }
 
 /// An in-memory database: the unit a single PQS worker thread owns.
+///
+/// Tables and indexes live behind [`Arc`]s (and each table's row block
+/// behind another), and the four catalog maps live behind [`Arc`]s of
+/// their own, so `Database::clone` — the per-statement atomicity
+/// snapshot, `BEGIN`'s workspace snapshot, a replay-cache resume — is
+/// exactly four reference-count bumps.  Mutable accessors go through
+/// [`Arc::make_mut`], deep-copying only the map a statement touches and
+/// only the node it actually writes (node copies are counted in
+/// [`cow`]); failed lookups never unshare anything.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
-    indexes: BTreeMap<String, Index>,
-    views: BTreeMap<String, View>,
-    options: BTreeMap<String, Value>,
+    tables: Arc<BTreeMap<String, Arc<Table>>>,
+    indexes: Arc<BTreeMap<String, Arc<Index>>>,
+    views: Arc<BTreeMap<String, View>>,
+    options: Arc<BTreeMap<String, Value>>,
 }
 
 impl Database {
@@ -52,7 +63,7 @@ impl Database {
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(StorageError::TableExists(schema.name));
         }
-        self.tables.insert(key, Table::new(schema));
+        Arc::make_mut(&mut self.tables).insert(key, Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -63,10 +74,14 @@ impl Database {
     /// Returns an error if the table does not exist.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
         let key = name.to_ascii_lowercase();
-        if self.tables.remove(&key).is_none() {
+        if !self.tables.contains_key(&key) {
             return Err(StorageError::NoSuchTable(name.to_owned()));
         }
-        self.indexes.retain(|_, idx| !idx.def.table.eq_ignore_ascii_case(name));
+        Arc::make_mut(&mut self.tables).remove(&key);
+        if self.indexes.values().any(|idx| idx.def.table.eq_ignore_ascii_case(name)) {
+            Arc::make_mut(&mut self.indexes)
+                .retain(|_, idx| !idx.def.table.eq_ignore_ascii_case(name));
+        }
         Ok(())
     }
 
@@ -81,15 +96,20 @@ impl Database {
         if self.tables.contains_key(&new_key) || self.views.contains_key(&new_key) {
             return Err(StorageError::TableExists(new.to_owned()));
         }
-        let mut table = self
-            .tables
-            .remove(&old_key)
-            .ok_or_else(|| StorageError::NoSuchTable(old.to_owned()))?;
-        table.schema.name = new.to_owned();
-        self.tables.insert(new_key, table);
-        for idx in self.indexes.values_mut() {
-            if idx.def.table.eq_ignore_ascii_case(old) {
-                idx.def.table = new.to_owned();
+        if !self.tables.contains_key(&old_key) {
+            return Err(StorageError::NoSuchTable(old.to_owned()));
+        }
+        let tables = Arc::make_mut(&mut self.tables);
+        let mut table = tables.remove(&old_key).expect("checked above");
+        // Renaming copies the table node (schema + row-block handle) but
+        // not the rows themselves — they stay behind the inner Arc.
+        cow::make_mut_table(&mut table).schema.name = new.to_owned();
+        tables.insert(new_key, table);
+        if self.indexes.values().any(|idx| idx.def.table.eq_ignore_ascii_case(old)) {
+            for idx in Arc::make_mut(&mut self.indexes).values_mut() {
+                if idx.def.table.eq_ignore_ascii_case(old) {
+                    cow::make_mut_index(idx).def.table = new.to_owned();
+                }
             }
         }
         Ok(())
@@ -98,12 +118,18 @@ impl Database {
     /// Returns a table by name.
     #[must_use]
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&name.to_ascii_lowercase())
+        self.tables.get(&name.to_ascii_lowercase()).map(Arc::as_ref)
     }
 
-    /// Returns a mutable table by name.
+    /// Returns a mutable table by name, unsharing it from any snapshot
+    /// that still holds the same node.  A missing table never unshares
+    /// the map.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(&name.to_ascii_lowercase())
+        let key = name.to_ascii_lowercase();
+        if !self.tables.contains_key(&key) {
+            return None;
+        }
+        Arc::make_mut(&mut self.tables).get_mut(&key).map(cow::make_mut_table)
     }
 
     /// Returns a table or a [`StorageError::NoSuchTable`] error.
@@ -121,9 +147,7 @@ impl Database {
     ///
     /// Returns an error if the table does not exist.
     pub fn require_table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
-        self.tables
-            .get_mut(&name.to_ascii_lowercase())
-            .ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
+        self.table_mut(name).ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
     }
 
     /// All table names (schema introspection).
@@ -171,7 +195,7 @@ impl Database {
         if self.table(&index.def.table).is_none() {
             return Err(StorageError::NoSuchTable(index.def.table.clone()));
         }
-        self.indexes.insert(key, index);
+        Arc::make_mut(&mut self.indexes).insert(key, Arc::new(index));
         Ok(())
     }
 
@@ -188,7 +212,7 @@ impl Database {
                 "index {name} is implicitly created and cannot be dropped"
             ))),
             Some(_) => {
-                self.indexes.remove(&key);
+                Arc::make_mut(&mut self.indexes).remove(&key);
                 Ok(())
             }
         }
@@ -197,23 +221,40 @@ impl Database {
     /// Returns an index by name.
     #[must_use]
     pub fn index(&self, name: &str) -> Option<&Index> {
-        self.indexes.get(&name.to_ascii_lowercase())
+        self.indexes.get(&name.to_ascii_lowercase()).map(Arc::as_ref)
     }
 
-    /// Returns a mutable index by name.
+    /// Returns a mutable index by name, unsharing it from any snapshot.
+    /// A missing index never unshares the map.
     pub fn index_mut(&mut self, name: &str) -> Option<&mut Index> {
-        self.indexes.get_mut(&name.to_ascii_lowercase())
+        let key = name.to_ascii_lowercase();
+        if !self.indexes.contains_key(&key) {
+            return None;
+        }
+        Arc::make_mut(&mut self.indexes).get_mut(&key).map(cow::make_mut_index)
     }
 
     /// All indexes on a table.
     #[must_use]
     pub fn indexes_on(&self, table: &str) -> Vec<&Index> {
-        self.indexes.values().filter(|i| i.def.table.eq_ignore_ascii_case(table)).collect()
+        self.indexes
+            .values()
+            .filter(|i| i.def.table.eq_ignore_ascii_case(table))
+            .map(Arc::as_ref)
+            .collect()
     }
 
-    /// All indexes on a table, mutably.
+    /// All indexes on a table, mutably (each unshared from any snapshot).
+    /// A table with no indexes never unshares the map.
     pub fn indexes_on_mut(&mut self, table: &str) -> Vec<&mut Index> {
-        self.indexes.values_mut().filter(|i| i.def.table.eq_ignore_ascii_case(table)).collect()
+        if !self.indexes.values().any(|i| i.def.table.eq_ignore_ascii_case(table)) {
+            return Vec::new();
+        }
+        Arc::make_mut(&mut self.indexes)
+            .values_mut()
+            .filter(|i| i.def.table.eq_ignore_ascii_case(table))
+            .map(cow::make_mut_index)
+            .collect()
     }
 
     /// All index names.
@@ -240,7 +281,7 @@ impl Database {
         if self.views.contains_key(&key) || self.tables.contains_key(&key) {
             return Err(StorageError::ViewExists(view.name));
         }
-        self.views.insert(key, view);
+        Arc::make_mut(&mut self.views).insert(key, view);
         Ok(())
     }
 
@@ -250,10 +291,12 @@ impl Database {
     ///
     /// Returns an error if the view does not exist.
     pub fn drop_view(&mut self, name: &str) -> StorageResult<()> {
-        self.views
-            .remove(&name.to_ascii_lowercase())
-            .map(|_| ())
-            .ok_or_else(|| StorageError::NoSuchView(name.to_owned()))
+        let key = name.to_ascii_lowercase();
+        if !self.views.contains_key(&key) {
+            return Err(StorageError::NoSuchView(name.to_owned()));
+        }
+        Arc::make_mut(&mut self.views).remove(&key);
+        Ok(())
     }
 
     /// Returns a view by name.
@@ -272,7 +315,7 @@ impl Database {
 
     /// Sets a run-time option (`PRAGMA` / `SET`).
     pub fn set_option(&mut self, name: &str, value: Value) {
-        self.options.insert(name.to_ascii_lowercase(), value);
+        Arc::make_mut(&mut self.options).insert(name.to_ascii_lowercase(), value);
     }
 
     /// Reads a run-time option.
@@ -293,7 +336,21 @@ impl Database {
     /// Total number of rows across all tables (used by throughput reports).
     #[must_use]
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::row_count).sum()
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Number of table nodes this database still shares with `other`
+    /// (same `Arc`, i.e. neither side has mutated the table since the
+    /// clone).  Diagnostic hook for CoW tests and reports.
+    #[must_use]
+    pub fn tables_shared_with(&self, other: &Database) -> usize {
+        if Arc::ptr_eq(&self.tables, &other.tables) {
+            return self.tables.len();
+        }
+        self.tables
+            .iter()
+            .filter(|(name, table)| other.tables.get(*name).is_some_and(|o| Arc::ptr_eq(table, o)))
+            .count()
     }
 }
 

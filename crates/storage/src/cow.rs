@@ -1,0 +1,106 @@
+//! Copy-on-write bookkeeping for the structurally-shared catalog.
+//!
+//! [`Database`](crate::Database) holds tables and indexes behind [`Arc`]s
+//! and [`Table`](crate::Table) holds its row block behind another, so a
+//! database clone — the per-statement atomicity snapshot, `BEGIN`'s
+//! workspace snapshot, a replay-cache resume — is a handful of
+//! reference-count bumps.  The deep copies that copy-on-write *does* pay
+//! (the first mutation of a shared node via [`Arc::make_mut`]) are counted
+//! here, per thread, so campaign reports can show how much cloning the
+//! sharing absorbed.
+//!
+//! The counters are thread-local cumulative sums: callers sample them
+//! before and after a region of work and fold the delta.  Thread-locals
+//! (rather than process-global atomics) keep concurrently-running
+//! campaigns — `cargo test` runs many in one process — from bleeding
+//! copies into each other's stats.
+//!
+//! [`Arc`]: std::sync::Arc
+//! [`Arc::make_mut`]: std::sync::Arc::make_mut
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Cumulative copy-on-write deep-copy counts for the current thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Shared [`Table`](crate::Table) nodes deep-copied on first mutation
+    /// (schema + row-block handle; the rows themselves copy separately).
+    pub table_copies: u64,
+    /// Shared row blocks deep-copied on first row mutation — the O(rows)
+    /// cost a snapshot defers until a statement actually writes the table.
+    pub row_block_copies: u64,
+    /// Shared [`Index`](crate::Index) nodes deep-copied on first mutation
+    /// (definition + materialized entries).
+    pub index_copies: u64,
+}
+
+impl CowStats {
+    /// The counts accrued since an earlier [`cow_stats`] sample.
+    #[must_use]
+    pub fn since(self, earlier: CowStats) -> CowStats {
+        CowStats {
+            table_copies: self.table_copies.saturating_sub(earlier.table_copies),
+            row_block_copies: self.row_block_copies.saturating_sub(earlier.row_block_copies),
+            index_copies: self.index_copies.saturating_sub(earlier.index_copies),
+        }
+    }
+}
+
+thread_local! {
+    static TABLE_COPIES: Cell<u64> = const { Cell::new(0) };
+    static ROW_BLOCK_COPIES: Cell<u64> = const { Cell::new(0) };
+    static INDEX_COPIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Samples the current thread's cumulative copy-on-write counters.
+#[must_use]
+pub fn cow_stats() -> CowStats {
+    CowStats {
+        table_copies: TABLE_COPIES.with(Cell::get),
+        row_block_copies: ROW_BLOCK_COPIES.with(Cell::get),
+        index_copies: INDEX_COPIES.with(Cell::get),
+    }
+}
+
+/// [`Arc::make_mut`] with copy accounting: bumps `counter` when the node
+/// is shared and the call will therefore deep-copy it.
+pub(crate) fn make_mut_counted<'a, T: Clone>(
+    arc: &'a mut Arc<T>,
+    counter: &'static std::thread::LocalKey<Cell<u64>>,
+) -> &'a mut T {
+    if Arc::strong_count(arc) > 1 {
+        counter.with(|c| c.set(c.get() + 1));
+    }
+    Arc::make_mut(arc)
+}
+
+pub(crate) fn make_mut_table<T: Clone>(arc: &mut Arc<T>) -> &mut T {
+    make_mut_counted(arc, &TABLE_COPIES)
+}
+
+pub(crate) fn make_mut_rows<T: Clone>(arc: &mut Arc<T>) -> &mut T {
+    make_mut_counted(arc, &ROW_BLOCK_COPIES)
+}
+
+pub(crate) fn make_mut_index<T: Clone>(arc: &mut Arc<T>) -> &mut T {
+    make_mut_counted(arc, &INDEX_COPIES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_only_count_shared_nodes() {
+        let before = cow_stats();
+        let mut solo = Arc::new(vec![1]);
+        make_mut_table(&mut solo).push(2);
+        assert_eq!(cow_stats().since(before).table_copies, 0, "sole owner never copies");
+        let shared = Arc::clone(&solo);
+        make_mut_table(&mut solo).push(3);
+        assert_eq!(cow_stats().since(before).table_copies, 1, "shared node copies once");
+        assert_eq!(*shared, vec![1, 2], "the snapshot keeps the pre-mutation state");
+        assert_eq!(*solo, vec![1, 2, 3]);
+    }
+}

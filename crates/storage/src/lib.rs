@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod cow;
 pub mod error;
 pub mod index;
 pub mod schema;
 pub mod table;
 
 pub use catalog::{Database, View};
+pub use cow::{cow_stats, CowStats};
 pub use error::{StorageError, StorageResult};
 pub use index::{Index, IndexDef, IndexEntry};
 pub use schema::{Affinity, ColumnMeta, TableSchema};

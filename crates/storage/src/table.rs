@@ -1,10 +1,12 @@
 //! Row storage for a single table.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lancer_sql::value::Value;
 use serde::{Deserialize, Serialize};
 
+use crate::cow;
 use crate::error::{StorageError, StorageResult};
 use crate::schema::TableSchema;
 
@@ -21,11 +23,16 @@ pub struct Row {
 }
 
 /// A table: schema plus rows.
+///
+/// The row block lives behind an [`Arc`], so cloning a table (directly or
+/// through a [`Database`](crate::Database) snapshot) shares it structurally;
+/// the first mutation after a clone deep-copies the block via
+/// [`Arc::make_mut`] (counted in [`cow`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     /// The table schema.
     pub schema: TableSchema,
-    rows: BTreeMap<RowId, Vec<Value>>,
+    rows: Arc<BTreeMap<RowId, Vec<Value>>>,
     next_row_id: RowId,
 }
 
@@ -33,7 +40,20 @@ impl Table {
     /// Creates an empty table with the given schema.
     #[must_use]
     pub fn new(schema: TableSchema) -> Table {
-        Table { schema, rows: BTreeMap::new(), next_row_id: 1 }
+        Table { schema, rows: Arc::new(BTreeMap::new()), next_row_id: 1 }
+    }
+
+    /// The row block, unsharing (and counting) it if a snapshot still
+    /// holds the same block.
+    fn rows_mut(&mut self) -> &mut BTreeMap<RowId, Vec<Value>> {
+        cow::make_mut_rows(&mut self.rows)
+    }
+
+    /// Whether this table still shares its row block with another handle
+    /// (a snapshot or clone).  Test/diagnostic hook for CoW invariants.
+    #[must_use]
+    pub fn shares_rows(&self) -> bool {
+        Arc::strong_count(&self.rows) > 1
     }
 
     /// Number of rows currently stored.
@@ -65,7 +85,7 @@ impl Table {
         }
         let id = self.next_row_id;
         self.next_row_id += 1;
-        self.rows.insert(id, values);
+        self.rows_mut().insert(id, values);
         Ok(id)
     }
 
@@ -84,20 +104,24 @@ impl Table {
         if values.len() != self.schema.columns.len() {
             return Err(StorageError::Internal("wrong number of values in update".into()));
         }
-        match self.rows.get_mut(&id) {
-            Some(slot) => {
-                *slot = values;
-                Ok(())
-            }
-            None => {
-                Err(StorageError::Internal(format!("no row {id} in table {}", self.schema.name)))
-            }
+        if !self.rows.contains_key(&id) {
+            return Err(StorageError::Internal(format!(
+                "no row {id} in table {}",
+                self.schema.name
+            )));
         }
+        if let Some(slot) = self.rows_mut().get_mut(&id) {
+            *slot = values;
+        }
+        Ok(())
     }
 
     /// Deletes a row by id.  Returns `true` if the row existed.
     pub fn delete(&mut self, id: RowId) -> bool {
-        self.rows.remove(&id).is_some()
+        if !self.rows.contains_key(&id) {
+            return false;
+        }
+        self.rows_mut().remove(&id).is_some()
     }
 
     /// Iterates over all rows in rowid order.
@@ -126,7 +150,7 @@ impl Table {
             return Err(StorageError::DuplicateColumn(meta.name));
         }
         self.schema.columns.push(meta);
-        for values in self.rows.values_mut() {
+        for values in self.rows_mut().values_mut() {
             values.push(fill.clone());
         }
         Ok(())

@@ -196,6 +196,16 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
 }
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
 
+// Shared ownership serializes transparently, like the real serde's `rc`
+// feature: the pointee is rendered in place (structural sharing is a
+// memory-layout concern, not a data-model one).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
