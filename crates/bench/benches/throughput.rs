@@ -198,10 +198,54 @@ fn bench_replay_resume(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_readonly_query(c: &mut Criterion) {
+    // The expression-pass wave hot path: judging one read-only candidate
+    // against a fixed database state.  `clone_execute` is the PR-9
+    // baseline — CoW-clone the snapshot, then run the candidate through
+    // the mutable path; `shared_query` is the read path — ask the shared
+    // `Arc<Engine>` snapshot directly, zero per-candidate engine state.
+    let gen = GenConfig { min_rows: 150, max_rows: 250, ..GenConfig::default() };
+    let mut group = c.benchmark_group("readonly_query");
+    for dialect in Dialect::ALL {
+        let mut rng = StdRng::seed_from_u64(4);
+        let profile = BugProfile::all_for(dialect);
+        let mut engine = Engine::with_bugs(dialect, profile);
+        let mut generator = StateGenerator::new(dialect, gen.clone());
+        let _ = generator.generate_database(&mut rng, &mut engine);
+        let table = engine.database().table_names().into_iter().next().expect("generated table");
+        let trigger = lancer_sql::parse_statement(&format!("SELECT * FROM {table} WHERE 1 = 2"))
+            .expect("trigger parses");
+        let ordinal = engine.statements_executed();
+        let snapshot = std::sync::Arc::new(engine);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("clone_execute", dialect.name()),
+            &dialect,
+            |b, _| {
+                b.iter(|| {
+                    let mut e = (*snapshot).clone();
+                    std::hint::black_box(e.execute(&trigger).map(|r| r.rows.len()))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_query", dialect.name()),
+            &dialect,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(snapshot.query(ordinal, &trigger).map(|r| r.rows.len()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_state_generation, bench_containment_checks, bench_norec_checks,
-        bench_txn_checks, bench_statement_execution, bench_reduction_hier, bench_replay_resume
+        bench_txn_checks, bench_statement_execution, bench_reduction_hier, bench_replay_resume,
+        bench_readonly_query
 }
 criterion_main!(benches);

@@ -433,17 +433,20 @@ impl Interpreter {
                         BinaryOp::Add => a.checked_add(b).map(Value::Integer),
                         BinaryOp::Sub => a.checked_sub(b).map(Value::Integer),
                         BinaryOp::Mul => a.checked_mul(b).map(Value::Integer),
+                        // `i64::MIN / -1` overflows like the other
+                        // operators: fall through to the REAL promotion
+                        // below, matching the engine evaluator.
                         BinaryOp::Div => {
                             if b == 0 {
                                 return self.div_zero();
                             }
-                            Some(Value::Integer(a.wrapping_div(b)))
+                            a.checked_div(b).map(Value::Integer)
                         }
                         BinaryOp::Mod => {
                             if b == 0 {
                                 return self.div_zero();
                             }
-                            Some(Value::Integer(a.wrapping_rem(b)))
+                            a.checked_rem(b).map(Value::Integer)
                         }
                         _ => unreachable!(),
                     };
@@ -453,6 +456,8 @@ impl Interpreter {
                             BinaryOp::Add => a + b,
                             BinaryOp::Sub => a - b,
                             BinaryOp::Mul => a * b,
+                            BinaryOp::Div => a / b,
+                            BinaryOp::Mod => a % b,
                             _ => unreachable!(),
                         })
                     }));
@@ -649,6 +654,28 @@ mod tests {
 
     fn eval(dialect: Dialect, sql: &str) -> InterpResult<Value> {
         Interpreter::new(dialect).eval(&parse_expression(sql).unwrap(), &pivot())
+    }
+
+    #[test]
+    fn division_overflow_promotes_to_real_like_the_engine() {
+        // The ground-truth interpreter must agree with the engine
+        // evaluator that `i64::MIN / -1` (and `% -1`) promote to REAL
+        // rather than wrapping — otherwise the containment oracle would
+        // report a phantom mismatch on such a pivot.
+        const MIN: &str = "(-9223372036854775807 - 1)";
+        for d in [Dialect::Sqlite, Dialect::Mysql, Dialect::Postgres, Dialect::Duckdb] {
+            assert_eq!(
+                eval(d, &format!("{MIN} / -1")).unwrap(),
+                Value::Real(9_223_372_036_854_775_808.0),
+                "{d:?}: MIN / -1 must promote"
+            );
+            assert_eq!(
+                eval(d, &format!("{MIN} % -1")).unwrap(),
+                Value::Real(0.0),
+                "{d:?}: MIN % -1 must promote"
+            );
+            assert_eq!(eval(d, "7 / -1").unwrap(), Value::Integer(-7));
+        }
     }
 
     #[test]

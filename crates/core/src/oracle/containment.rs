@@ -135,8 +135,10 @@ impl ContainmentOracle {
         };
         let query = Statement::Select(lancer_sql::ast::Query::Select(Box::new(select)));
 
-        // Step 6: let the DBMS evaluate the query.
-        match engine.execute(&query) {
+        // Step 6: let the DBMS evaluate the query through the read-only
+        // path (`query_here` keeps the fault clock in step with
+        // `execute`, so injected-fault schedules are unchanged).
+        match engine.query_here(&query) {
             Ok(result) => {
                 // Step 7: containment check.
                 if result.contains_row(&expected_row) {

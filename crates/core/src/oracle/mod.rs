@@ -44,7 +44,7 @@ pub use norec::{norec_rewrite, norec_sum, plan_uses_index, random_norec_select, 
 pub use serializability::{
     committed_units, serial_orders_match, state_digest, Episode, SerializabilityOracle, StateDigest,
 };
-pub use tlp::{partition_union, row_multiset, TlpOracle};
+pub use tlp::{partition_union, partition_union_at, row_multiset, TlpOracle};
 
 /// Rectifies a randomly generated expression so that it evaluates to `TRUE`
 /// for the pivot row (Algorithm 3).

@@ -249,9 +249,9 @@ impl NorecOracle {
         // are the error oracle's jurisdiction, not NoREC's.
         let optimized_stmt = Statement::Select(optimized_q);
         let rewritten_stmt = Statement::Select(rewritten_q);
-        let Ok(result) = engine.execute(&optimized_stmt) else { return OracleReport::Skipped };
+        let Ok(result) = engine.query_here(&optimized_stmt) else { return OracleReport::Skipped };
         let count = result.rows.len() as i64;
-        let Ok(rewrite_result) = engine.execute(&rewritten_stmt) else {
+        let Ok(rewrite_result) = engine.query_here(&rewritten_stmt) else {
             return OracleReport::Skipped;
         };
         let Some(sum) = norec_sum(&rewrite_result) else { return OracleReport::Skipped };

@@ -241,14 +241,14 @@ impl SerializabilityOracle {
             return OracleReport::Skipped;
         }
         let Some(episode) = committed_units(log) else { return OracleReport::Skipped };
-        let bugs = engine.bugs().clone();
+        let bugs = engine.bugs();
         let mut replay = Engine::with_bugs(self.dialect, bugs.clone());
         for stmt in log {
             let _ = replay.execute(stmt);
         }
         let actual = state_digest(&replay);
         self.episodes_checked.fetch_add(1, Ordering::Relaxed);
-        let (matched, tried) = serial_orders_match(self.dialect, &bugs, &episode, &actual);
+        let (matched, tried) = serial_orders_match(self.dialect, bugs, &episode, &actual);
         self.orders_tried.fetch_add(tried, Ordering::Relaxed);
         if matched {
             OracleReport::Passed

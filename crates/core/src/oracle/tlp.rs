@@ -52,7 +52,26 @@ pub fn partition_union(
 ) -> Option<BTreeMap<String, u64>> {
     let mut union = BTreeMap::new();
     for p in partitions {
-        let result = engine.execute(p).ok()?;
+        let result = engine.query_here(p).ok()?;
+        for (key, count) in row_multiset(&result.rows) {
+            *union.entry(key).or_insert(0) += count;
+        }
+    }
+    Some(union)
+}
+
+/// Read-only twin of [`partition_union`]: evaluates the partitions
+/// against a shared engine snapshot via [`Engine::query`], presenting
+/// the same fault-clock ordinals a mutable re-execution starting at
+/// `first_ordinal` would.  Used by the clone-free replay fast path.
+pub fn partition_union_at(
+    engine: &Engine,
+    first_ordinal: u64,
+    partitions: &[Statement],
+) -> Option<BTreeMap<String, u64>> {
+    let mut union = BTreeMap::new();
+    for (i, p) in partitions.iter().enumerate() {
+        let result = engine.query(first_ordinal + i as u64, p).ok()?;
         for (key, count) in row_multiset(&result.rows) {
             *union.entry(key).or_insert(0) += count;
         }
@@ -135,7 +154,7 @@ impl TlpOracle {
 
         // Any execution error means the check cannot be performed — errors
         // are the error oracle's jurisdiction, not TLP's.
-        let Ok(whole) = engine.execute(&unpartitioned) else { return OracleReport::Skipped };
+        let Ok(whole) = engine.query_here(&unpartitioned) else { return OracleReport::Skipped };
         let Some(union) = partition_union(engine, &partitions) else {
             return OracleReport::Skipped;
         };

@@ -37,8 +37,8 @@ use lancer_engine::{BugProfile, Dialect, Engine};
 use lancer_sql::ast::stmt::Statement;
 
 use crate::oracle::{
-    committed_units, norec_sum, partition_union, row_multiset, serial_orders_match, state_digest,
-    ErrorOracle, ReproSpec,
+    committed_units, norec_sum, partition_union, partition_union_at, row_multiset,
+    serial_orders_match, state_digest, ErrorOracle, ReproSpec,
 };
 use crate::reduce::CandidateJudge;
 
@@ -311,11 +311,30 @@ fn execute_prepared(
     repro: &ReproSpec,
 ) -> ReplayOutcome {
     let PreparedReplay { verdict_key, keys, start, resume, recurring } = prepared;
+    let setup = &stmts[..stmts.len() - 1];
+    // Fast path: when the cached snapshot already covers the whole setup,
+    // a read-only trigger can be judged straight off the shared
+    // `Arc<Engine>` — no engine clone, no per-candidate state at all.
+    // This is the expression-pass hot path: every candidate in a wave
+    // shares one snapshot and differs only in its trigger.
+    if start == setup.len() {
+        if let ResumePoint::Snapshot(snapshot) = &resume {
+            if let Some(verdict) = confirms_readonly(snapshot, setup, stmts[stmts.len() - 1], repro)
+            {
+                return ReplayOutcome {
+                    verdict,
+                    verdict_key,
+                    executed: 0,
+                    snapshots: Vec::new(),
+                    newly_seen: Vec::new(),
+                };
+            }
+        }
+    }
     let mut engine = match resume {
         ResumePoint::Snapshot(snapshot) => (*snapshot).clone(),
         ResumePoint::Fresh(dialect, profile) => Engine::with_bugs(dialect, *profile),
     };
-    let setup = &stmts[..stmts.len() - 1];
     let mut snapshots = Vec::new();
     let mut newly_seen = Vec::new();
     for i in start..setup.len() {
@@ -530,7 +549,7 @@ pub(crate) fn confirms(
         // The trigger is an ordinary (read-only) probe; what matters is
         // the final shared state versus every serial order of the
         // committed transactions in the candidate script.
-        let _ = engine.execute(last);
+        let _ = engine.query_here(last);
         let Some(episode) = committed_units(setup.iter().copied().chain(std::iter::once(last)))
         else {
             return false;
@@ -539,7 +558,7 @@ pub(crate) fn confirms(
             serial_orders_match(engine.dialect(), engine.bugs(), &episode, &state_digest(engine));
         return !matched;
     }
-    match engine.execute(last) {
+    match engine.query_here(last) {
         Ok(result) => match repro {
             // A containment failure only counts when the triggering
             // statement is still the query itself; otherwise the "missing
@@ -561,7 +580,7 @@ pub(crate) fn confirms(
             // mismatch cannot be confirmed.
             ReproSpec::PairMismatch { rewritten } if last.is_read_only() => {
                 let count = result.rows.len() as i64;
-                match engine.execute(rewritten) {
+                match engine.query_here(rewritten) {
                     Ok(rewrite_result) => match norec_sum(&rewrite_result) {
                         Some(sum) => count != sum,
                         None => false,
@@ -584,6 +603,63 @@ pub(crate) fn confirms(
             ReproSpec::SerialDivergence => unreachable!("serial divergence returns early"),
         },
     }
+}
+
+/// The clone-free twin of [`confirms`]: judges a read-only trigger
+/// directly against a shared engine snapshot via [`Engine::query`],
+/// presenting the exact fault-clock ordinals the mutable path would
+/// (`statements_executed`, then one per follow-up probe).  Returns
+/// `None` when the candidate needs mutable confirmation — a non-read-only
+/// trigger, or a snapshot whose active session still holds an open
+/// transaction — in which case the caller falls back to the clone path.
+/// Verdict-identity with [`confirms`] is covered by the `readonly_query`
+/// differential suite.
+pub(crate) fn confirms_readonly(
+    engine: &Engine,
+    setup: &[&Statement],
+    last: &Statement,
+    repro: &ReproSpec,
+) -> Option<bool> {
+    if !last.is_read_only() || engine.in_transaction(engine.active_session()) {
+        return None;
+    }
+    let ordinal = engine.statements_executed();
+    if matches!(repro, ReproSpec::SerialDivergence) {
+        // The mutable path runs the trigger before digesting, but a
+        // read-only trigger outside a transaction cannot move the digest,
+        // so the probe is skipped here.
+        let Some(episode) = committed_units(setup.iter().copied().chain(std::iter::once(last)))
+        else {
+            return Some(false);
+        };
+        let (matched, _) =
+            serial_orders_match(engine.dialect(), engine.bugs(), &episode, &state_digest(engine));
+        return Some(!matched);
+    }
+    Some(match engine.query(ordinal, last) {
+        Ok(result) => match repro {
+            ReproSpec::MissingRow(row) => !result.contains_row(row),
+            ReproSpec::PartitionMismatch { partitions } => {
+                match partition_union_at(engine, ordinal + 1, partitions) {
+                    Some(union) => row_multiset(&result.rows) != union,
+                    None => false,
+                }
+            }
+            ReproSpec::PairMismatch { rewritten } => match engine.query(ordinal + 1, rewritten) {
+                Ok(rewrite_result) => match norec_sum(&rewrite_result) {
+                    Some(sum) => result.rows.len() as i64 != sum,
+                    None => false,
+                },
+                Err(_) => false,
+            },
+            _ => false,
+        },
+        Err(e) => match repro {
+            ReproSpec::Crash => e.is_crash(),
+            ReproSpec::UnexpectedError => !e.is_crash() && !ErrorOracle.is_expected(last, &e),
+            _ => false,
+        },
+    })
 }
 
 /// FNV-1a over a statement's SQL rendering, computed without allocating

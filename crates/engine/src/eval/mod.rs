@@ -531,18 +531,26 @@ impl<'a> Evaluator<'a> {
                     Some(v) => Value::Integer(v),
                     None => Value::Real(a as f64 * b as f64),
                 }),
+                // `i64::MIN / -1` (and `% -1`) overflow like the other
+                // operators; promote to REAL instead of wrapping.
                 BinaryOp::Div => {
                     if b == 0 {
                         self.division_by_zero()
                     } else {
-                        Ok(Value::Integer(a.wrapping_div(b)))
+                        Ok(match a.checked_div(b) {
+                            Some(v) => Value::Integer(v),
+                            None => Value::Real(a as f64 / b as f64),
+                        })
                     }
                 }
                 BinaryOp::Mod => {
                     if b == 0 {
                         self.division_by_zero()
                     } else {
-                        Ok(Value::Integer(a.wrapping_rem(b)))
+                        Ok(match a.checked_rem(b) {
+                            Some(v) => Value::Integer(v),
+                            None => Value::Real(a as f64 % b as f64),
+                        })
                     }
                 }
                 _ => unreachable!(),
@@ -1185,6 +1193,29 @@ mod tests {
             eval_const(Dialect::Sqlite, "'' - 2851427734582196970").unwrap(),
             Value::Integer(-2851427734582196970)
         );
+    }
+
+    #[test]
+    fn division_overflow_promotes_to_real_in_every_dialect() {
+        // `i64::MIN / -1` (and `% -1`) cannot be represented as an
+        // integer; like `+`/`-`/`*` overflow, the result promotes to
+        // REAL instead of silently wrapping back to `i64::MIN`.
+        const MIN: &str = "(-9223372036854775807 - 1)";
+        for d in [Dialect::Sqlite, Dialect::Mysql, Dialect::Postgres, Dialect::Duckdb] {
+            assert_eq!(
+                eval_const(d, &format!("{MIN} / -1")).unwrap(),
+                Value::Real(9_223_372_036_854_775_808.0),
+                "{d:?}: MIN / -1 must promote"
+            );
+            assert_eq!(
+                eval_const(d, &format!("{MIN} % -1")).unwrap(),
+                Value::Real(0.0),
+                "{d:?}: MIN % -1 must promote"
+            );
+            // Plain divisions stay integer.
+            assert_eq!(eval_const(d, "7 / -1").unwrap(), Value::Integer(-7));
+            assert_eq!(eval_const(d, &format!("{MIN} / 1")).unwrap(), Value::Integer(i64::MIN));
+        }
     }
 
     #[test]

@@ -300,18 +300,26 @@ impl Engine {
         }
     }
 
-    pub(crate) fn exec_set(&mut self, name: &str, value: &Value) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_set(
+        &mut self,
+        clock: u64,
+        name: &str,
+        value: &Value,
+    ) -> EngineResult<QueryResult> {
         if !self.dialect.has_set_option() {
             return Err(EngineError::semantic("SET is not supported by this DBMS"));
         }
         self.cover("stmt.set_option");
         // Injected fault: setting key_cache_division_limit nondeterministically
-        // fails (Listing 3); "nondeterminism" is modelled via the statement
-        // counter parity so campaigns still observe both behaviours.
+        // fails (Listing 3); "nondeterminism" is modelled via statement-clock
+        // parity so campaigns still observe both behaviours.  The clock is an
+        // explicit argument (the dispatcher passes the already-bumped
+        // statement counter) so clock-keyed faults have exactly one source
+        // of time — the same currency `Engine::query` takes as its ordinal.
         if self.dialect == Dialect::Mysql
             && self.bugs().is_enabled(BugId::MysqlSetOptionNondeterministicError)
             && name.eq_ignore_ascii_case("key_cache_division_limit")
-            && self.statements_executed.is_multiple_of(2)
+            && clock.is_multiple_of(2)
         {
             return Err(EngineError::semantic("ERROR 1210 (HY000): Incorrect arguments to SET"));
         }

@@ -192,7 +192,10 @@ impl Engine {
         self.statements_executed
     }
 
-    pub(crate) fn cover(&mut self, feature: &str) {
+    /// Records a coverage feature point through the engine's shared
+    /// interior-mutability sink, so the mutable ([`Engine::execute`]) and
+    /// read-only ([`Engine::query`]) paths record identical keys.
+    pub(crate) fn cover(&self, feature: &str) {
         self.coverage.hit(feature);
     }
 
@@ -279,6 +282,66 @@ impl Engine {
         result
     }
 
+    /// Evaluates a read-only statement *as if* it were the engine's
+    /// `ordinal`-th statement (0-based) — through the same operator
+    /// pipeline (row and columnar) as [`Engine::execute`], but over
+    /// `&self`: no counter bump, no atomicity snapshot, no workspace
+    /// swap, no RNG draws.  Coverage is recorded through the shared
+    /// interior-mutability sink, so the keys are identical to the
+    /// mutable path's.
+    ///
+    /// The fault clock is explicit: `execute` bumps the statement counter
+    /// *before* dispatch, so a statement running as ordinal `n` observes
+    /// clock `n + 1` — `query` presents the same clock to the shared
+    /// read-only dispatcher, which makes `query(ordinal, stmt)`
+    /// bit-identical (results, errors, coverage keys) to `execute(stmt)`
+    /// as statement `ordinal` on a fresh clone.  This is what lets many
+    /// threads judge candidate queries against one shared
+    /// `Arc<Engine>` snapshot with zero per-candidate engine state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a semantic error when the statement is not read-only, or
+    /// when the active session holds an open transaction (an open
+    /// transaction swaps in a private workspace and logs successful
+    /// statements — both observable effects `&self` cannot reproduce;
+    /// use [`Engine::execute`] there).  Otherwise, same as
+    /// [`Engine::execute`].
+    pub fn query(&self, ordinal: u64, stmt: &Statement) -> EngineResult<QueryResult> {
+        if !stmt.is_read_only() {
+            return Err(EngineError::semantic(
+                "query() evaluates read-only statements only; use execute() for writes",
+            ));
+        }
+        if self.txns.contains_key(&self.active_session) {
+            return Err(EngineError::semantic(
+                "query() cannot run while the active session holds an open transaction; \
+                 use execute()",
+            ));
+        }
+        self.read_only_eval(ordinal + 1, stmt)
+    }
+
+    /// Evaluates a read-only statement at the engine's *current* clock
+    /// position through the [`Engine::query`] read path, advancing the
+    /// statement counter exactly as [`Engine::execute`] would — so
+    /// counter-keyed fault parity (and therefore campaign byte-identity)
+    /// is preserved at oracle call sites.  Falls back to `execute` when
+    /// the statement is not read-only or the active session holds an
+    /// open transaction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::execute`].
+    pub fn query_here(&mut self, stmt: &Statement) -> EngineResult<QueryResult> {
+        if !stmt.is_read_only() || self.txns.contains_key(&self.active_session) {
+            return self.execute(stmt);
+        }
+        let ordinal = self.statements_executed;
+        self.statements_executed += 1;
+        self.query(ordinal, stmt)
+    }
+
     /// Switches the statements that follow to the given logical session.
     /// Sessions share the catalog; each may hold one open transaction.
     pub fn session(&mut self, id: u32) -> SessionHandle<'_> {
@@ -348,11 +411,27 @@ impl Engine {
     ///
     /// Same as [`Engine::execute`].
     pub fn execute_at(&mut self, ordinal: u64, stmt: &Statement) -> EngineResult<QueryResult> {
-        let saved = self.statements_executed;
-        self.statements_executed = ordinal;
-        let result = self.execute(stmt);
-        self.statements_executed = saved;
-        result
+        self.with_clock(ordinal, |engine| engine.execute(stmt))
+    }
+
+    /// Runs `f` with the statement counter temporarily set to `ordinal`,
+    /// restoring the saved counter on the way out.  The restore is an
+    /// RAII drop guard: a panic inside `f` (a poisoned unwind through a
+    /// replay) must not leave the fault clock pinned at the replayed
+    /// ordinal.
+    fn with_clock<T>(&mut self, ordinal: u64, f: impl FnOnce(&mut Engine) -> T) -> T {
+        struct ClockGuard<'a> {
+            engine: &'a mut Engine,
+            saved: u64,
+        }
+        impl Drop for ClockGuard<'_> {
+            fn drop(&mut self) {
+                self.engine.statements_executed = self.saved;
+            }
+        }
+        let guard = ClockGuard { saved: self.statements_executed, engine: self };
+        guard.engine.statements_executed = ordinal;
+        f(&mut *guard.engine)
     }
 
     /// Exchanges the shared workspace with the active session's private
@@ -498,21 +577,12 @@ impl Engine {
             Statement::Insert(ins) => self.exec_insert(ins),
             Statement::Update(upd) => self.exec_update(upd),
             Statement::Delete(del) => self.exec_delete(del),
-            Statement::Select(q) => {
-                self.cover("stmt.select");
-                self.exec_query(q)
-            }
-            // EXPLAIN renders the deterministic plan as rows without
-            // executing the query.  It records no coverage point: the
-            // feature registry is part of the campaign-visible stats
-            // surface, and EXPLAIN never occurs in generated workloads.
-            Statement::Explain(q) => {
-                let plan = self.explain(q);
-                Ok(QueryResult {
-                    columns: vec!["QUERY PLAN".to_owned()],
-                    rows: plan.render().into_iter().map(|l| vec![Value::Text(l)]).collect(),
-                    affected: 0,
-                })
+            // Read-only statements go through the same `&self` evaluation
+            // path as `Engine::query`, with the already-bumped statement
+            // counter as the explicit fault clock — the two paths are
+            // identical by construction, not by parallel maintenance.
+            Statement::Select(_) | Statement::Explain(_) => {
+                self.read_only_eval(self.statements_executed, stmt)
             }
             Statement::Vacuum { full } => self.exec_vacuum(*full),
             Statement::Reindex { target } => self.exec_reindex(target.as_deref()),
@@ -522,7 +592,9 @@ impl Engine {
             }
             Statement::RepairTable { table } => self.exec_repair_table(table),
             Statement::Pragma { name, value } => self.exec_pragma(name, value.as_ref()),
-            Statement::Set { scope: _, name, value } => self.exec_set(name, value),
+            Statement::Set { scope: _, name, value } => {
+                self.exec_set(self.statements_executed, name, value)
+            }
             Statement::CreateStatistics { name, columns, table } => {
                 self.exec_create_statistics(name, columns, table)
             }
@@ -539,6 +611,36 @@ impl Engine {
             | Statement::Session { .. } => {
                 unreachable!("transaction control is intercepted by execute()")
             }
+        }
+    }
+
+    /// Evaluates a read-only statement over `&self` at an explicit fault
+    /// clock.  `clock` is the counter value the statement observes during
+    /// dispatch (`execute` passes the already-bumped counter; `query`
+    /// passes `ordinal + 1`).  No read-path fault is clock-keyed today —
+    /// the only counter-keyed fault lives on the `SET` path, which is not
+    /// read-only — but any future one must take its clock from here, not
+    /// from `statements_executed`.
+    fn read_only_eval(&self, clock: u64, stmt: &Statement) -> EngineResult<QueryResult> {
+        let _ = clock;
+        match stmt {
+            Statement::Select(q) => {
+                self.cover("stmt.select");
+                self.exec_query(q)
+            }
+            // EXPLAIN renders the deterministic plan as rows without
+            // executing the query.  It records no coverage point: the
+            // feature registry is part of the campaign-visible stats
+            // surface, and EXPLAIN never occurs in generated workloads.
+            Statement::Explain(q) => {
+                let plan = self.explain(q);
+                Ok(QueryResult {
+                    columns: vec!["QUERY PLAN".to_owned()],
+                    rows: plan.render().into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                    affected: 0,
+                })
+            }
+            _ => unreachable!("read_only_eval called for a non-read-only statement"),
         }
     }
 }
@@ -665,6 +767,66 @@ mod tests {
         e.session(1).execute_sql("COMMIT").unwrap();
         e.session(2).execute_sql("COMMIT").unwrap();
         assert_eq!(e.session(0).execute_sql("SELECT c0 FROM t0").unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn execute_at_restores_the_clock_across_a_panic() {
+        let mut e = Engine::new(Dialect::Mysql);
+        e.execute_sql("CREATE TABLE t0(c0 INT)").unwrap();
+        e.execute_sql("INSERT INTO t0(c0) VALUES (1)").unwrap();
+        assert_eq!(e.statements_executed(), 2);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.with_clock(40, |_| panic!("mid-replay unwind"));
+        }));
+        assert!(unwound.is_err());
+        // The RAII guard must have put the fault clock back even though
+        // the closure never returned.
+        assert_eq!(e.statements_executed(), 2);
+        // And the engine keeps working with the correct clock afterwards.
+        let stmt = lancer_sql::parse_statement("SELECT c0 FROM t0").unwrap();
+        assert_eq!(e.execute_at(7, &stmt).unwrap().rows.len(), 1);
+        assert_eq!(e.statements_executed(), 2);
+    }
+
+    #[test]
+    fn query_rejects_writes_and_open_transactions() {
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_sql("CREATE TABLE t0(c0)").unwrap();
+        let write = lancer_sql::parse_statement("INSERT INTO t0(c0) VALUES (1)").unwrap();
+        let read = lancer_sql::parse_statement("SELECT c0 FROM t0").unwrap();
+        assert!(e.query(5, &write).unwrap_err().message.contains("read-only"));
+        e.execute_sql("BEGIN").unwrap();
+        assert!(e.query(5, &read).unwrap_err().message.contains("open transaction"));
+        // query_here falls back to execute in both situations.
+        assert!(e.query_here(&read).is_ok());
+        e.execute_sql("COMMIT").unwrap();
+        assert!(e.query(5, &read).is_ok());
+    }
+
+    #[test]
+    fn query_records_the_same_coverage_keys_as_execute() {
+        let mut e = Engine::new(Dialect::Sqlite);
+        e.execute_sql("CREATE TABLE t0(c0, c1)").unwrap();
+        e.execute_sql("INSERT INTO t0(c0, c1) VALUES (1, 'a'), (2, 'b')").unwrap();
+        let stmt = lancer_sql::parse_statement(
+            "SELECT DISTINCT c0, COUNT(*) FROM t0 WHERE c0 + 1 > 1 GROUP BY c0 ORDER BY c0",
+        )
+        .unwrap();
+        // Clones never share the sink, so each side records from the same
+        // starting snapshot and the hit sets are directly comparable.
+        let mut via_execute = e.clone();
+        let via_query = e.clone();
+        let ordinal = via_execute.statements_executed();
+        let r1 = via_execute.execute(&stmt);
+        let r2 = via_query.query(ordinal, &stmt);
+        assert_eq!(r1, r2);
+        assert_eq!(
+            via_execute.coverage().hit_features(),
+            via_query.coverage().hit_features(),
+            "the two paths must record identical coverage keys"
+        );
+        // The read path recorded strictly through &self.
+        assert!(via_query.coverage().hit_features().contains(&"exec.group_by".to_owned()));
     }
 
     #[test]

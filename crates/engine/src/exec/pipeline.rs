@@ -124,7 +124,7 @@ impl<'q> Operator<'q> {
     /// Runs the operator: consumes the incoming batch, produces the next.
     pub(crate) fn apply(
         &self,
-        engine: &mut Engine,
+        engine: &Engine,
         s: &'q Select,
         batch: Batch,
     ) -> EngineResult<Batch> {
@@ -143,7 +143,7 @@ impl<'q> Operator<'q> {
 }
 
 impl Engine {
-    pub(crate) fn exec_select(&mut self, s: &Select) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_select(&self, s: &Select) -> EngineResult<QueryResult> {
         self.select_preflight(s)?;
         let mut batch = Batch::Rows(RowBatch::empty());
         for op in assemble(s) {
@@ -156,7 +156,7 @@ impl Engine {
     /// Loads the `FROM` sources and folds them into the initial batch.
     /// The columnar dialect's single-table scans materialise straight
     /// into column vectors; everything else takes the row path.
-    fn op_scan(&mut self, s: &Select) -> EngineResult<Batch> {
+    fn op_scan(&self, s: &Select) -> EngineResult<Batch> {
         if self.dialect().prefers_columnar() && s.from.len() == 1 && s.joins.is_empty() {
             if let Some(cb) = self.scan_columnar(&s.from[0]) {
                 return Ok(Batch::Cols(cb));
@@ -168,7 +168,7 @@ impl Engine {
     /// Single-table columnar scan.  `None` when the source needs the row
     /// loader: views, missing tables (so the error rises from the same
     /// place), and any scan-time row-rewriting fault.
-    fn scan_columnar(&mut self, name: &str) -> Option<ColumnBatch> {
+    fn scan_columnar(&self, name: &str) -> Option<ColumnBatch> {
         if self.db.view(name).is_some()
             || self.db.table(name).is_none()
             || self.bugs().is_enabled(BugId::SqliteNoCaseWithoutRowidDedup)
@@ -193,7 +193,7 @@ impl Engine {
         Some(ColumnBatch { schema: Arc::new(schema), columns: Vec::new(), cols, len })
     }
 
-    fn op_scan_rows(&mut self, s: &Select) -> EngineResult<RowBatch> {
+    fn op_scan_rows(&self, s: &Select) -> EngineResult<RowBatch> {
         let mut sources = Vec::with_capacity(s.from.len());
         for name in &s.from {
             sources.push(self.load_source(name)?);
@@ -238,7 +238,7 @@ impl Engine {
     /// One explicit join: loads the right source lazily (so errors keep
     /// their original order relative to earlier joins' evaluation) and
     /// combines the batch with it.
-    fn op_join(&mut self, join: &JoinClause, mut batch: RowBatch) -> EngineResult<RowBatch> {
+    fn op_join(&self, join: &JoinClause, mut batch: RowBatch) -> EngineResult<RowBatch> {
         let right = self.load_source(&join.table)?;
         let right_width = right.schema.columns.len();
         Arc::make_mut(&mut batch.schema).sources.push(right.schema);
@@ -301,7 +301,7 @@ impl Engine {
     /// A columnar batch passes through untouched unless one of those
     /// actually applies — then it pivots to rows so the probe (and any
     /// fault corrupting it) runs the identical row code.
-    fn op_index_probe(&mut self, s: &Select, batch: Batch) -> EngineResult<Batch> {
+    fn op_index_probe(&self, s: &Select, batch: Batch) -> EngineResult<Batch> {
         let batch = match batch {
             Batch::Cols(cb) => {
                 let probe_applies = self.bugs().is_enabled(BugId::SqlitePartialIndexImpliesNotNull)
@@ -319,7 +319,7 @@ impl Engine {
         self.op_index_probe_rows(s, batch).map(Batch::Rows)
     }
 
-    fn op_index_probe_rows(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+    fn op_index_probe_rows(&self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
         // Injected fault: a partial index whose predicate is `col NOT NULL`
         // is (incorrectly) used for `col IS NOT <literal>` conditions,
         // dropping NULL pivot rows (Listing 1).
@@ -371,7 +371,7 @@ impl Engine {
     /// soundness filter (deliberately: that gap is where the §4.4
     /// collation faults live).
     fn index_equality_probe(
-        &mut self,
+        &self,
         table: &str,
         col: &str,
         lit: &Value,
@@ -449,7 +449,7 @@ impl Engine {
     /// compiles ([`compile_filter_kernel`]); otherwise it pivots to rows
     /// and runs the row loop, preserving per-row evaluation order (and
     /// therefore error order) exactly.
-    fn op_filter(&mut self, w: &Expr, batch: Batch) -> EngineResult<Batch> {
+    fn op_filter(&self, w: &Expr, batch: Batch) -> EngineResult<Batch> {
         self.cover("exec.where_filter");
         // Injected fault: the LIKE optimisation on INTEGER-affinity NOCASE
         // columns rejects exact matches (Listing 7).  The rewrite clones
@@ -511,7 +511,7 @@ impl Engine {
     /// Poisoned projection after RENAME COLUMN + double-quoted index
     /// expression (Listing 8): rewrites affected columns in place before
     /// the batch is projected (plain or aggregate path alike).
-    fn apply_poisoned_columns(&mut self, s: &Select, batch: &mut RowBatch) {
+    fn apply_poisoned_columns(&self, s: &Select, batch: &mut RowBatch) {
         if s.from.len() != 1 {
             return;
         }
@@ -555,7 +555,7 @@ impl Engine {
     /// columnar when every item is a plain resolvable column (labels for
     /// a wildcard, column gathering otherwise); expression items pivot
     /// to the row path so evaluation errors keep their per-row order.
-    fn op_project(&mut self, s: &Select, batch: Batch) -> EngineResult<Batch> {
+    fn op_project(&self, s: &Select, batch: Batch) -> EngineResult<Batch> {
         let batch = match batch {
             Batch::Cols(cb) => {
                 if self.poisoned_columns.is_empty() {
@@ -609,7 +609,7 @@ impl Engine {
         Ok(cb)
     }
 
-    fn op_project_rows(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+    fn op_project_rows(&self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
         self.apply_poisoned_columns(s, &mut batch);
         let columns = self.projection_columns(s, &batch.schema);
         // `SELECT *` is the identity on the batch: source rows *are* the
@@ -643,7 +643,7 @@ impl Engine {
     /// over a column, over `*`, or over the NoREC `CASE WHEN p THEN x
     /// ELSE y END` rewrite — folding column vectors without ever
     /// rebuilding rows.  Everything else pivots to the row path.
-    fn op_aggregate(&mut self, s: &Select, batch: Batch) -> EngineResult<Batch> {
+    fn op_aggregate(&self, s: &Select, batch: Batch) -> EngineResult<Batch> {
         let batch = match batch {
             Batch::Cols(cb) => match self.aggregate_columnar(s, cb)? {
                 Ok(done) => return Ok(Batch::Rows(done)),
@@ -658,7 +658,7 @@ impl Engine {
     /// evaluation errors (which the row path would raise identically);
     /// the inner `Err` hands the untouched batch back for the row path.
     fn aggregate_columnar(
-        &mut self,
+        &self,
         s: &Select,
         cb: ColumnBatch,
     ) -> EngineResult<Result<RowBatch, ColumnBatch>> {
@@ -748,7 +748,7 @@ impl Engine {
         Ok(Ok(RowBatch { schema: cb.schema, columns, rows: vec![out_row] }))
     }
 
-    fn op_aggregate_rows(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+    fn op_aggregate_rows(&self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
         self.apply_poisoned_columns(s, &mut batch);
         self.cover("exec.group_by");
         let schema = Arc::clone(&batch.schema);
@@ -859,7 +859,7 @@ impl Engine {
     }
 
     /// `SELECT DISTINCT` deduplication.
-    fn op_distinct(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+    fn op_distinct(&self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
         self.cover("exec.distinct");
         // Injected fault: the skip-scan optimisation applied to DISTINCT
         // after ANALYZE dedupes on the first column only (Listing 6).
@@ -900,7 +900,7 @@ impl Engine {
 
     /// `ORDER BY` (ordering never affects the containment oracle, but the
     /// engine still implements it for completeness).
-    fn op_sort(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+    fn op_sort(&self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
         self.cover("exec.order_by");
         batch.rows.sort_by(|a, b| {
             for (i, term) in s.order_by.iter().enumerate() {
@@ -924,7 +924,7 @@ impl Engine {
     }
 
     /// `LIMIT` / `OFFSET` truncation.
-    fn op_limit(&mut self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
+    fn op_limit(&self, s: &Select, mut batch: RowBatch) -> EngineResult<RowBatch> {
         self.cover("exec.limit_offset");
         let offset = s.offset.unwrap_or(0) as usize;
         let limit = s.limit.map(|l| l as usize).unwrap_or(usize::MAX);

@@ -30,7 +30,7 @@ pub(crate) struct SourceData {
 }
 
 impl Engine {
-    pub(crate) fn exec_query(&mut self, q: &Query) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_query(&self, q: &Query) -> EngineResult<QueryResult> {
         match q {
             Query::Select(s) => self.exec_select(s),
             Query::Compound { left, op, right } => {
@@ -91,7 +91,7 @@ impl Engine {
     /// existence, index-corruption detection, and the planning-time error
     /// faults.  Shared verbatim by the pipeline and the reference
     /// evaluator so both report identical errors in identical order.
-    pub(crate) fn select_preflight(&mut self, s: &Select) -> EngineResult<()> {
+    pub(crate) fn select_preflight(&self, s: &Select) -> EngineResult<()> {
         for table in &s.from {
             if self.db.table(table).is_some() {
                 self.check_corruption(table)?;
@@ -109,7 +109,7 @@ impl Engine {
 
     /// Loads the rows of one `FROM` source (table, view, or inheritance
     /// hierarchy), expanding views through the pipeline.
-    pub(crate) fn load_source(&mut self, name: &str) -> EngineResult<SourceData> {
+    pub(crate) fn load_source(&self, name: &str) -> EngineResult<SourceData> {
         if let Some(view) = self.db.view(name).cloned() {
             self.cover("exec.view_expansion");
             let result = self.exec_select(&view.query)?;
@@ -299,7 +299,7 @@ impl Engine {
         schema: &RowSchema,
         group: &[Vec<Value>],
     ) -> EngineResult<Value> {
-        self.cover_const("expr.aggregate");
+        self.cover("expr.aggregate");
         let ev = self.evaluator();
         match expr {
             Expr::Aggregate { func, arg, distinct } => {
@@ -354,11 +354,6 @@ impl Engine {
                 "unsupported aggregate expression shape: {other}"
             ))),
         }
-    }
-
-    fn cover_const(&self, _feature: &str) {
-        // Coverage requires &mut self; aggregate-expression coverage is
-        // recorded by the callers that own mutable access.
     }
 }
 

@@ -40,11 +40,11 @@ impl Engine {
     /// Exactly the errors [`Engine::execute`] would report for the same
     /// query — that equivalence is the point.
     #[doc(hidden)]
-    pub fn execute_query_reference(&mut self, q: &Query) -> EngineResult<QueryResult> {
+    pub fn execute_query_reference(&self, q: &Query) -> EngineResult<QueryResult> {
         self.exec_query_reference(q)
     }
 
-    fn exec_query_reference(&mut self, q: &Query) -> EngineResult<QueryResult> {
+    fn exec_query_reference(&self, q: &Query) -> EngineResult<QueryResult> {
         match q {
             Query::Select(s) => self.exec_select_reference(s),
             Query::Compound { left, op, right } => {
@@ -101,7 +101,7 @@ impl Engine {
 
     /// Loads the rows of one `FROM` source, expanding views through the
     /// reference evaluator (never the pipeline).
-    fn load_source_reference(&mut self, name: &str) -> EngineResult<SourceData> {
+    fn load_source_reference(&self, name: &str) -> EngineResult<SourceData> {
         if let Some(view) = self.db.view(name).cloned() {
             self.cover("exec.view_expansion");
             let result = self.exec_select_reference(&view.query)?;
@@ -191,7 +191,7 @@ impl Engine {
         })
     }
 
-    pub(crate) fn exec_select_reference(&mut self, s: &Select) -> EngineResult<QueryResult> {
+    pub(crate) fn exec_select_reference(&self, s: &Select) -> EngineResult<QueryResult> {
         self.select_preflight(s)?;
 
         // Load sources and build the joined row set.
@@ -431,7 +431,7 @@ impl Engine {
 
     /// The reference copy of the single-table equality index probe.
     fn index_equality_probe_reference(
-        &mut self,
+        &self,
         table: &str,
         col: &str,
         lit: &Value,
@@ -506,7 +506,7 @@ impl Engine {
     }
 
     fn project_plain_reference(
-        &mut self,
+        &self,
         s: &Select,
         schema: &RowSchema,
         rows: &[Vec<Value>],
@@ -540,7 +540,7 @@ impl Engine {
     }
 
     fn project_aggregate_reference(
-        &mut self,
+        &self,
         s: &Select,
         schema: &RowSchema,
         rows: &[Vec<Value>],
@@ -662,7 +662,7 @@ impl Engine {
     }
 
     fn apply_distinct_reference(
-        &mut self,
+        &self,
         s: &Select,
         rows: Vec<Vec<Value>>,
     ) -> EngineResult<Vec<Vec<Value>>> {

@@ -636,9 +636,42 @@ impl Statement {
 
     /// Returns `true` for statements that only read state (queries and
     /// `EXPLAIN`, which only consults the catalog).
+    ///
+    /// The match is exhaustive on purpose: a new statement variant must
+    /// make an explicit read-only claim here before `Engine::query` will
+    /// accept it, rather than silently inheriting write semantics (or
+    /// worse, read-only semantics) from a wildcard arm.  Everything that
+    /// is not a plain `SELECT`/`EXPLAIN` mutates catalog, data, session
+    /// or transaction state — including `CHECK TABLE` (repair counters),
+    /// `ANALYZE` (statistics) and `SET`/`PRAGMA` (session options).
     #[must_use]
     pub fn is_read_only(&self) -> bool {
-        matches!(self, Statement::Select(_) | Statement::Explain(_))
+        match self {
+            Statement::Select(_) | Statement::Explain(_) => true,
+            Statement::CreateTable(_)
+            | Statement::CreateIndex(_)
+            | Statement::CreateView { .. }
+            | Statement::CreateStatistics { .. }
+            | Statement::DropTable { .. }
+            | Statement::DropIndex { .. }
+            | Statement::DropView { .. }
+            | Statement::AlterTable(_)
+            | Statement::Insert(_)
+            | Statement::Update(_)
+            | Statement::Delete(_)
+            | Statement::Vacuum { .. }
+            | Statement::Reindex { .. }
+            | Statement::Analyze { .. }
+            | Statement::CheckTable { .. }
+            | Statement::RepairTable { .. }
+            | Statement::Pragma { .. }
+            | Statement::Set { .. }
+            | Statement::Discard
+            | Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::Session { .. } => false,
+        }
     }
 }
 
@@ -703,6 +736,18 @@ mod tests {
     #[test]
     fn read_only_classification() {
         assert!(Statement::Select(Query::select(Select::star(vec!["t".into()]))).is_read_only());
+        assert!(Statement::Explain(Query::select(Select::star(vec!["t".into()]))).is_read_only());
         assert!(!Statement::Vacuum { full: false }.is_read_only());
+        // Statements that look like questions but touch session or
+        // maintenance state must stay classified as writes.
+        assert!(!Statement::CheckTable { table: "t".into(), for_upgrade: false }.is_read_only());
+        assert!(!Statement::Analyze { target: None }.is_read_only());
+        assert!(!Statement::Set {
+            scope: SetScope::Global,
+            name: "key_cache_division_limit".into(),
+            value: Value::Integer(100),
+        }
+        .is_read_only());
+        assert!(!Statement::Begin.is_read_only());
     }
 }
